@@ -1,0 +1,52 @@
+// Ablation: thread scaling of the parallel stages (per-server scanners
+// and the rank kernel). On the paper's 9-node testbed the scanners run
+// on distinct machines; here they share whatever cores the container
+// offers, so treat speedups as code-path validation, not a hardware
+// claim — determinism across thread counts is separately asserted by
+// the test suite.
+#include <cstdio>
+
+#include "checker/checker.h"
+#include "common/timer.h"
+#include "workload/namespace_gen.h"
+#include "workload/rmat.h"
+
+using namespace faultyrank;
+
+int main() {
+  std::printf("=== Ablation: thread scaling ===\n");
+  std::printf("(hardware threads available: %u)\n\n",
+              std::thread::hardware_concurrency());
+
+  // Rank kernel on RMAT-19.
+  const GeneratedGraph generated = generate_rmat({.scale = 19});
+  const UnifiedGraph graph =
+      UnifiedGraph::from_edges(generated.vertex_count, generated.edges);
+  FaultyRankConfig rank_config;
+  rank_config.epsilon = 1e-4;
+
+  std::printf("%-10s %-16s %-16s\n", "threads", "rank kernel (s)",
+              "cluster check (s)");
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+
+    WallTimer kernel_timer;
+    (void)run_faultyrank(graph, rank_config, &pool);
+    const double kernel_seconds = kernel_timer.seconds();
+
+    LustreCluster cluster(8, StripePolicy{64 * 1024, -1});
+    NamespaceConfig namespace_config;
+    namespace_config.file_count = 10000;
+    namespace_config.seed = 99;
+    populate_namespace(cluster, namespace_config);
+    CheckerConfig checker_config;
+    checker_config.pool = &pool;
+    WallTimer check_timer;
+    (void)run_checker(cluster, checker_config);
+    const double check_seconds = check_timer.seconds();
+
+    std::printf("%-10zu %-16.3f %-16.3f\n", threads, kernel_seconds,
+                check_seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation: detection threshold θ. The paper convicts fields whose rank
+// falls below 0.1 on its mass-1 scale (= 0.4 x mean, this library's
+// default). Sweeping θ trades conviction coverage against wrong
+// convictions: precision/recall over a mixed fault campaign, scored on
+// per-field ground truth.
+#include <cstdio>
+
+#include "checker/checker.h"
+#include "faults/injector.h"
+#include "workload/namespace_gen.h"
+
+using namespace faultyrank;
+
+int main() {
+  std::printf("=== Ablation: detection threshold theta (default 0.4 x mean "
+              "= the paper's 0.1 on its mass-1 scale) ===\n");
+  std::printf("(8 scenarios x 3 seeds; a conviction is correct when it "
+              "names the injected object and field)\n\n");
+  std::printf("%-10s %-14s %-14s %-12s %-10s\n", "theta", "convictions",
+              "correct", "precision", "recall");
+
+  for (const double theta : {0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    int convictions = 0;
+    int correct = 0;
+    int faults = 0;
+    int recalled = 0;
+    for (const Scenario scenario : kAllScenarios) {
+      for (const std::uint64_t seed : {501ull, 502ull, 503ull}) {
+        LustreCluster cluster(4, StripePolicy{64 * 1024, -1});
+        NamespaceConfig namespace_config;
+        namespace_config.file_count = 300;
+        namespace_config.seed = seed;
+        populate_namespace(cluster, namespace_config);
+        FaultInjector injector(cluster, seed + 80);
+        const GroundTruth truth = injector.inject(scenario);
+        ++faults;
+
+        CheckerConfig config;
+        config.detection_threshold = theta;
+        const CheckerResult result = run_checker(cluster, config);
+
+        const Fid convict_as = truth.id_field ? truth.current : truth.victim;
+        bool hit = false;
+        for (const Finding& finding : result.report.findings) {
+          if (finding.culprit == FaultyField::kUndetermined) continue;
+          ++convictions;
+          if (finding.convicted_object == convict_as &&
+              finding.convicted_id_field == truth.id_field) {
+            ++correct;
+            hit = true;
+          }
+        }
+        recalled += hit;
+      }
+    }
+    std::printf("%-10.2f %-14d %-14d %-12.2f %-10.2f\n", theta, convictions,
+                correct,
+                convictions == 0 ? 0.0
+                                 : static_cast<double>(correct) / convictions,
+                static_cast<double>(recalled) / faults);
+  }
+  std::printf("\n(low theta under-convicts: records stay undetermined; "
+              "very high theta convicts healthy fields in ambiguous "
+              "records)\n");
+  return 0;
+}

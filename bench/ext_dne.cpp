@@ -1,0 +1,47 @@
+// Extension: DNE (Distributed NamEspace) scaling. The paper's testbed
+// has a single MDS; its §V-C2 analysis blames the MDS for LFSCK's
+// scalability bottleneck. With the namespace spread over several MDTs
+// the FaultyRank scanners parallelize across metadata servers too —
+// the cluster-level T_scan is the slowest server, so it drops roughly
+// with the MDT count, while the aggregation (network) leg grows
+// slightly because more partial graphs cross the wire.
+#include <cstdio>
+
+#include "checker/checker.h"
+#include "workload/namespace_gen.h"
+
+using namespace faultyrank;
+
+int main() {
+  constexpr std::uint64_t kFiles = 30000;
+  std::printf("=== Extension: FaultyRank under DNE (multiple MDTs) ===\n");
+  std::printf("(%lu files on 8 OSTs; directories round-robin across "
+              "MDTs; virtual I/O + measured compute)\n\n",
+              static_cast<unsigned long>(kFiles));
+  std::printf("%-6s %-12s %-9s %-9s %-9s %-10s\n", "MDTs", "MDS inodes",
+              "T_scan", "T_graph", "T_FR", "total");
+
+  for (const std::size_t mdts : {1u, 2u, 4u}) {
+    LustreCluster cluster(8, StripePolicy{64 * 1024, -1}, mdts);
+    NamespaceConfig config;
+    config.file_count = kFiles;
+    config.seed = 777;
+    populate_namespace(cluster, config);
+
+    ThreadPool pool;
+    CheckerConfig checker_config;
+    checker_config.pool = &pool;
+    const CheckerResult result = run_checker(cluster, checker_config);
+    const double t_graph =
+        result.timings.t_graph_sim + result.timings.t_graph_wall;
+    std::printf("%-6zu %-12lu %-9.2f %-9.2f %-9.3f %-10.2f%s\n", mdts,
+                static_cast<unsigned long>(cluster.mdt_inodes_used()),
+                result.timings.t_scan_sim, t_graph, result.timings.t_fr_wall,
+                result.timings.t_scan_sim + t_graph + result.timings.t_fr_wall,
+                result.report.consistent() ? "" : "  (INCONSISTENT?)");
+  }
+  std::printf("\n(the scan leg scales with the slowest metadata server; "
+              "aggregation pays for the extra\n partial-graph transfers — "
+              "the FaultyRank architecture extends to DNE unchanged)\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Reproduces Fig. 7: the eight inconsistency scenarios (four Table I
+// categories × two root causes), comparing FaultyRank against the
+// LFSCK-style rule-based baseline on:
+//   identified — the checker noticed the inconsistency,
+//   root cause — its diagnosis matches the injected ground truth,
+//   repaired   — after its repairs the filesystem re-scans clean AND
+//                the corrupted metadata is back to its original state
+//                (not just quarantined in lost+found).
+#include <cstdio>
+
+#include "checker/checker.h"
+#include "faults/injector.h"
+#include "lfsck/lfsck.h"
+#include "workload/namespace_gen.h"
+
+using namespace faultyrank;
+
+namespace {
+
+struct Outcome {
+  bool identified = false;
+  bool root_cause = false;
+  bool repaired = false;
+};
+
+const char* mark(bool ok) { return ok ? "yes" : "-"; }
+
+LustreCluster fresh_cluster(std::uint64_t seed) {
+  LustreCluster cluster(4, StripePolicy{64 * 1024, -1});
+  NamespaceConfig config;
+  config.file_count = 400;
+  config.seed = seed;
+  populate_namespace(cluster, config);
+  return cluster;
+}
+
+bool cluster_consistent(LustreCluster& cluster) {
+  const CheckerResult recheck = run_checker(cluster);
+  return recheck.report.consistent();
+}
+
+Outcome run_faultyrank_case(Scenario scenario, std::uint64_t seed) {
+  LustreCluster cluster = fresh_cluster(seed);
+  FaultInjector injector(cluster, seed + 500);
+  const GroundTruth truth = injector.inject(scenario);
+
+  CheckerConfig config;
+  config.apply_repairs = true;
+  config.verify_after_repair = true;
+  const CheckerResult result = run_checker(cluster, config);
+  const EvalOutcome eval = evaluate_report(result.report, truth);
+
+  Outcome outcome;
+  outcome.identified = eval.detected;
+  outcome.root_cause = eval.root_cause_identified;
+  outcome.repaired =
+      result.verified_consistent && verify_restored(cluster, truth);
+  return outcome;
+}
+
+Outcome run_lfsck_case(Scenario scenario, std::uint64_t seed) {
+  LustreCluster cluster = fresh_cluster(seed);
+  FaultInjector injector(cluster, seed + 500);
+  const GroundTruth truth = injector.inject(scenario);
+
+  const LfsckResult result = run_lfsck(cluster);
+
+  Outcome outcome;
+  outcome.identified = !result.events.empty();
+  // LFSCK's fixed rules never point at the true root cause unless the
+  // fault happens to be on the side its rules repair: the one Table I
+  // row it repairs correctly is "b's property wrong" (rebuilt from a).
+  const bool restored = verify_restored(cluster, truth);
+  outcome.root_cause = restored && !truth.id_field;
+  outcome.repaired = restored && cluster_consistent(cluster);
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 7: FaultyRank vs LFSCK across the eight "
+              "inconsistency scenarios ===\n");
+  std::printf("(cluster: 1 MDS + 4 OSTs, 400-file LANL-like namespace, "
+              "3 seeds per scenario)\n\n");
+  std::printf("%-36s | %-24s | %-24s\n", "",
+              "FaultyRank", "LFSCK");
+  std::printf("%-36s | %-10s %-6s %-6s | %-10s %-6s %-6s\n", "Scenario",
+              "identified", "root", "repair", "identified", "root", "repair");
+  std::printf("%.*s\n", 100,
+              "----------------------------------------------------------"
+              "------------------------------------------");
+
+  int fr_score = 0;
+  int lfsck_score = 0;
+  for (const Scenario scenario : kAllScenarios) {
+    Outcome fr;
+    Outcome lf;
+    // A scenario "passes" only if it passes for every seed.
+    fr.identified = fr.root_cause = fr.repaired = true;
+    lf.identified = lf.root_cause = lf.repaired = true;
+    for (const std::uint64_t seed : {201ull, 202ull, 203ull}) {
+      const Outcome f = run_faultyrank_case(scenario, seed);
+      fr.identified &= f.identified;
+      fr.root_cause &= f.root_cause;
+      fr.repaired &= f.repaired;
+      const Outcome l = run_lfsck_case(scenario, seed);
+      lf.identified &= l.identified;
+      lf.root_cause &= l.root_cause;
+      lf.repaired &= l.repaired;
+    }
+    std::printf("%-36s | %-10s %-6s %-6s | %-10s %-6s %-6s\n",
+                to_string(scenario), mark(fr.identified), mark(fr.root_cause),
+                mark(fr.repaired), mark(lf.identified), mark(lf.root_cause),
+                mark(lf.repaired));
+    fr_score += fr.identified + fr.root_cause + fr.repaired;
+    lfsck_score += lf.identified + lf.root_cause + lf.repaired;
+  }
+  std::printf("\nscore (of 24): FaultyRank %d, LFSCK %d\n", fr_score,
+              lfsck_score);
+  std::printf("(paper: FaultyRank identifies the root fault and fixes it in "
+              "all 8 cases; LFSCK is limited to\n its fixed MDS-wins rules — "
+              "it repairs the one property-mismatch row and quarantines or\n "
+              "ignores the rest)\n");
+  return 0;
+}

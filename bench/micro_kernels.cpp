@@ -1,0 +1,110 @@
+// google-benchmark micro-kernels for the building blocks: CSR
+// construction, one rank iteration, pairing analysis, FID interning,
+// scanning, and partial-graph serialization.
+#include <benchmark/benchmark.h>
+
+#include "aggregator/aggregator.h"
+#include "checker/checker.h"
+#include "core/faultyrank.h"
+#include "graph/unified_graph.h"
+#include "scanner/scanner.h"
+#include "workload/namespace_gen.h"
+#include "workload/rmat.h"
+
+namespace faultyrank {
+namespace {
+
+void BM_CsrBuild(benchmark::State& state) {
+  const auto scale = static_cast<std::uint32_t>(state.range(0));
+  const GeneratedGraph g = generate_rmat({.scale = scale, .avg_degree = 8});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Csr::build(g.vertex_count, g.edges));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.edges.size()));
+}
+BENCHMARK(BM_CsrBuild)->Arg(14)->Arg(16)->Arg(18);
+
+void BM_UnifiedGraphBuild(benchmark::State& state) {
+  const auto scale = static_cast<std::uint32_t>(state.range(0));
+  const GeneratedGraph g = generate_rmat({.scale = scale, .avg_degree = 8});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(UnifiedGraph::from_edges(g.vertex_count, g.edges));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.edges.size()));
+}
+BENCHMARK(BM_UnifiedGraphBuild)->Arg(14)->Arg(16);
+
+void BM_RankIteration(benchmark::State& state) {
+  const auto scale = static_cast<std::uint32_t>(state.range(0));
+  const GeneratedGraph g = generate_rmat({.scale = scale, .avg_degree = 8});
+  const UnifiedGraph graph = UnifiedGraph::from_edges(g.vertex_count, g.edges);
+  FaultyRankConfig config;
+  config.max_iterations = 1;
+  config.epsilon = 1e-30;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_faultyrank(graph, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.edges.size()) * 2);
+}
+BENCHMARK(BM_RankIteration)->Arg(14)->Arg(16)->Arg(18);
+
+void BM_RankToConvergence(benchmark::State& state) {
+  const auto scale = static_cast<std::uint32_t>(state.range(0));
+  const GeneratedGraph g = generate_rmat({.scale = scale, .avg_degree = 8});
+  const UnifiedGraph graph = UnifiedGraph::from_edges(g.vertex_count, g.edges);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_faultyrank(graph));
+  }
+}
+BENCHMARK(BM_RankToConvergence)->Arg(14)->Arg(16);
+
+void BM_ScanMdt(benchmark::State& state) {
+  LustreCluster cluster(4, StripePolicy{64 * 1024, -1});
+  NamespaceConfig config;
+  config.file_count = static_cast<std::uint64_t>(state.range(0));
+  config.seed = 7;
+  populate_namespace(cluster, config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scan_mdt(cluster.mdt()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cluster.mdt_inodes_used()));
+}
+BENCHMARK(BM_ScanMdt)->Arg(1000)->Arg(5000);
+
+void BM_PartialGraphSerde(benchmark::State& state) {
+  LustreCluster cluster(4, StripePolicy{64 * 1024, -1});
+  NamespaceConfig config;
+  config.file_count = static_cast<std::uint64_t>(state.range(0));
+  config.seed = 8;
+  populate_namespace(cluster, config);
+  const ScanResult scan = scan_mdt(cluster.mdt());
+  for (auto _ : state) {
+    const auto bytes = scan.graph.serialize();
+    benchmark::DoNotOptimize(PartialGraph::deserialize(bytes));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(scan.graph.wire_bytes()));
+}
+BENCHMARK(BM_PartialGraphSerde)->Arg(1000)->Arg(5000);
+
+void BM_EndToEndCheck(benchmark::State& state) {
+  LustreCluster cluster(4, StripePolicy{64 * 1024, -1});
+  NamespaceConfig config;
+  config.file_count = static_cast<std::uint64_t>(state.range(0));
+  config.seed = 9;
+  populate_namespace(cluster, config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_checker(cluster));
+  }
+}
+BENCHMARK(BM_EndToEndCheck)->Arg(1000)->Arg(5000);
+
+}  // namespace
+}  // namespace faultyrank
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Walks every one of the paper's eight inconsistency scenarios on one
+// cluster lifecycle each, printing the full story: what was corrupted,
+// what the metadata graph looked like, which fields FaultyRank
+// convicted, the exact repairs, and the post-repair verification.
+//
+//   $ ./examples/inject_and_repair [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "checker/checker.h"
+#include "faults/injector.h"
+#include "workload/namespace_gen.h"
+
+using namespace faultyrank;
+
+namespace {
+
+void run_scenario(Scenario scenario, std::uint64_t seed) {
+  LustreCluster cluster(4, StripePolicy{64 * 1024, -1});
+  NamespaceConfig workload;
+  workload.file_count = 300;
+  workload.seed = seed;
+  populate_namespace(cluster, workload);
+
+  FaultInjector injector(cluster, seed + 1);
+  const GroundTruth truth = injector.inject(scenario);
+
+  std::printf("--- %s ---\n", to_string(scenario));
+  std::printf("injected: %s\n", truth.description.c_str());
+  std::printf("  victim %s (%s field)%s\n", truth.victim.to_string().c_str(),
+              truth.id_field ? "id" : "property",
+              truth.id_field
+                  ? (" now carrying " + truth.current.to_string()).c_str()
+                  : "");
+
+  CheckerConfig config;
+  config.apply_repairs = true;
+  config.verify_after_repair = true;
+  const CheckerResult result = run_checker(cluster, config);
+
+  std::printf("graph: %lu vertices / %lu edges, %lu unpaired, "
+              "%zu rank iterations\n",
+              static_cast<unsigned long>(result.vertices),
+              static_cast<unsigned long>(result.edges),
+              static_cast<unsigned long>(result.unpaired_edges),
+              result.ranks.iterations);
+  for (const Finding& finding : result.report.findings) {
+    std::printf("  finding [%s] culprit=%s convicted=%s\n",
+                to_string(finding.category), to_string(finding.culprit),
+                finding.convicted_object.to_string().c_str());
+    std::printf("    ranks: src=[%.2f,%.2f] dst=[%.2f,%.2f]  %s\n",
+                finding.source_id_rank, finding.source_prop_rank,
+                finding.target_id_rank, finding.target_prop_rank,
+                finding.note.c_str());
+  }
+  for (const RepairOutcome& outcome : result.repair_outcomes) {
+    std::printf("  repair %s target=%s value=%s -> %s\n",
+                to_string(outcome.action.kind),
+                outcome.action.target.to_string().c_str(),
+                outcome.action.value.to_string().c_str(),
+                outcome.applied ? outcome.detail.c_str() : "FAILED");
+  }
+  const EvalOutcome eval = evaluate_report(result.report, truth);
+  std::printf("verdict: root-cause=%s consistent-after-repair=%s "
+              "ground-truth-restored=%s\n\n",
+              eval.root_cause_identified ? "correct" : "WRONG",
+              result.verified_consistent ? "yes" : "NO",
+              verify_restored(cluster, truth) ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2024;
+  std::printf("FaultyRank end-to-end walkthrough of the paper's eight "
+              "inconsistency scenarios (seed %lu)\n\n",
+              static_cast<unsigned long>(seed));
+  for (const Scenario scenario : kAllScenarios) {
+    run_scenario(scenario, seed);
+  }
+  return 0;
+}

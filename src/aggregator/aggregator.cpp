@@ -1,0 +1,34 @@
+#include "aggregator/aggregator.h"
+
+#include <vector>
+
+#include "common/timer.h"
+
+namespace faultyrank {
+
+AggregationResult aggregate(std::span<const ScanResult> scans,
+                            const NetModel& net) {
+  WallTimer timer;
+  AggregationResult result;
+
+  std::vector<PartialGraph> partials;
+  partials.reserve(scans.size());
+  for (const ScanResult& scan : scans) {
+    if (scan.local_to_mds) {
+      partials.push_back(scan.graph);
+    } else {
+      // Remote partial graphs cross the wire: encode, charge the
+      // transfer, decode on the MDS side.
+      const auto bytes = scan.graph.serialize();
+      result.transferred_bytes += bytes.size();
+      result.sim_transfer_seconds += net.transfer(bytes.size());
+      partials.push_back(PartialGraph::deserialize(bytes));
+    }
+  }
+
+  result.graph = UnifiedGraph::aggregate(partials);
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace faultyrank

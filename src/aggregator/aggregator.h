@@ -1,0 +1,35 @@
+// The MDS-side aggregator (paper §IV-B).
+//
+// Every OSS scanner ships its partial graph to the MDS in one bulk
+// transfer (serialized through the real wire format — the bytes are
+// actually encoded and decoded, not just counted); the MDS partial
+// graph joins locally. The aggregator then merges all partial graphs,
+// remaps 128-bit FIDs to dense GIDs, and builds the forward + reversed
+// CSR with the pairing analysis — everything FaultyRank needs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/sim_clock.h"
+#include "graph/unified_graph.h"
+#include "scanner/scanner.h"
+
+namespace faultyrank {
+
+struct AggregationResult {
+  UnifiedGraph graph;
+  /// Virtual network time: all OSS transfers land on the MDS ingress
+  /// link, so their byte counts serialize (latency counted once per
+  /// transfer).
+  double sim_transfer_seconds = 0.0;
+  /// Measured time for decode + merge + FID remap + CSR build.
+  double wall_seconds = 0.0;
+  std::uint64_t transferred_bytes = 0;
+};
+
+/// Aggregates a cluster scan into the unified graph.
+[[nodiscard]] AggregationResult aggregate(std::span<const ScanResult> scans,
+                                          const NetModel& net = {});
+
+}  // namespace faultyrank

@@ -1,0 +1,186 @@
+#include "beegfs/bee_cluster.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace faultyrank {
+
+std::string entry_id_from_fid(const Fid& fid) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%llx-%x-bee",
+                static_cast<unsigned long long>(fid.seq), fid.oid);
+  return buf;
+}
+
+std::optional<Fid> fid_from_entry_id(const std::string& id) {
+  unsigned long long seq = 0;
+  unsigned int oid = 0;
+  char tail[8] = {};
+  if (std::sscanf(id.c_str(), "%llx-%x-%3s", &seq, &oid, tail) != 3 ||
+      std::string(tail) != "bee") {
+    return std::nullopt;
+  }
+  return Fid{seq, oid, 0};
+}
+
+BeeMetaInode* BeeMetaServer::find(const std::string& entry_id) {
+  for (auto& inode : inodes) {
+    if (inode.in_use && inode.entry_id == entry_id) return &inode;
+  }
+  return nullptr;
+}
+
+const BeeMetaInode* BeeMetaServer::find(const std::string& entry_id) const {
+  for (const auto& inode : inodes) {
+    if (inode.in_use && inode.entry_id == entry_id) return &inode;
+  }
+  return nullptr;
+}
+
+BeeCluster::BeeCluster(std::size_t target_count,
+                       BeeStripePattern default_pattern)
+    : default_pattern_(std::move(default_pattern)) {
+  if (target_count == 0) {
+    throw BeeClusterError("beegfs: need at least one storage target");
+  }
+  if (default_pattern_.chunk_size == 0) {
+    throw BeeClusterError("beegfs: chunk_size must be > 0");
+  }
+  targets_.resize(target_count);
+  for (std::size_t i = 0; i < target_count; ++i) {
+    targets_[i].index = static_cast<std::uint32_t>(i);
+  }
+
+  BeeMetaInode root;
+  root.entry_id = allocate_entry_id();
+  root.type = BeeEntryType::kDirectory;
+  root.in_use = true;
+  root_id_ = root.entry_id;
+  meta_.inodes.push_back(std::move(root));
+  meta_.dentries[root_id_];  // root's (empty) dentries directory
+}
+
+std::string BeeCluster::allocate_entry_id() {
+  return entry_id_from_fid(Fid{kBeeMetaSeq, ++meta_.next_entry, 0});
+}
+
+std::string BeeCluster::mkdir(const std::string& parent_id,
+                              const std::string& name) {
+  BeeMetaInode* parent = meta_.find(parent_id);
+  if (parent == nullptr || parent->type != BeeEntryType::kDirectory) {
+    throw BeeClusterError("mkdir: bad parent " + parent_id);
+  }
+  auto& dentries = meta_.dentries[parent_id];
+  if (dentries.contains(name)) {
+    throw BeeClusterError("mkdir: name exists: " + name);
+  }
+  BeeMetaInode dir;
+  dir.entry_id = allocate_entry_id();
+  dir.parent_entry_id = parent_id;
+  dir.name = name;
+  dir.type = BeeEntryType::kDirectory;
+  dir.in_use = true;
+  const std::string id = dir.entry_id;
+  meta_.inodes.push_back(std::move(dir));
+  meta_.dentries[parent_id][name] = id;
+  meta_.dentries[id];
+  return id;
+}
+
+std::string BeeCluster::create_file(const std::string& parent_id,
+                                    const std::string& name,
+                                    std::uint64_t size) {
+  BeeMetaInode* parent = meta_.find(parent_id);
+  if (parent == nullptr || parent->type != BeeEntryType::kDirectory) {
+    throw BeeClusterError("create: bad parent " + parent_id);
+  }
+  auto& dentries = meta_.dentries[parent_id];
+  if (dentries.contains(name)) {
+    throw BeeClusterError("create: name exists: " + name);
+  }
+
+  BeeMetaInode file;
+  file.entry_id = allocate_entry_id();
+  file.parent_entry_id = parent_id;
+  file.name = name;
+  file.type = BeeEntryType::kFile;
+  file.size_bytes = size;
+  file.in_use = true;
+
+  // Chunk allocation: ⌈size/chunk_size⌉ targets round-robin, capped at
+  // the target count; at least one chunk.
+  const std::uint64_t wanted =
+      std::clamp<std::uint64_t>(
+          (size + default_pattern_.chunk_size - 1) /
+              default_pattern_.chunk_size,
+          1, targets_.size());
+  BeeStripePattern pattern;
+  pattern.chunk_size = default_pattern_.chunk_size;
+  for (std::uint64_t k = 0; k < wanted; ++k) {
+    const auto target_index =
+        static_cast<std::uint32_t>((next_target_ + k) % targets_.size());
+    pattern.targets.push_back(target_index);
+    BeeStorageTarget& target = targets_[target_index];
+    BeeChunkFile chunk;
+    chunk.name = file.entry_id;
+    chunk.xattr_origin = file.entry_id;
+    chunk.size_bytes = size / wanted;
+    chunk.in_use = true;
+    ++target.next_chunk;
+    target.chunks.push_back(std::move(chunk));
+  }
+  next_target_ = (next_target_ + 1) % targets_.size();
+  file.pattern = std::move(pattern);
+
+  const std::string id = file.entry_id;
+  meta_.inodes.push_back(std::move(file));
+  meta_.dentries[parent_id][name] = id;
+  return id;
+}
+
+void BeeCluster::unlink(const std::string& parent_id,
+                        const std::string& name) {
+  auto& dentries = meta_.dentries[parent_id];
+  const auto it = dentries.find(name);
+  if (it == dentries.end()) {
+    throw BeeClusterError("unlink: no such entry: " + name);
+  }
+  const std::string child_id = it->second;
+  BeeMetaInode* child = meta_.find(child_id);
+  if (child == nullptr) {
+    throw BeeClusterError("unlink: dentry points at nothing: " + name);
+  }
+  if (child->type == BeeEntryType::kDirectory) {
+    if (!meta_.dentries[child_id].empty()) {
+      throw BeeClusterError("unlink: directory not empty: " + name);
+    }
+    meta_.dentries.erase(child_id);
+  } else if (child->pattern.has_value()) {
+    for (const std::uint32_t target_index : child->pattern->targets) {
+      auto& chunks = targets_.at(target_index).chunks;
+      const auto chunk =
+          std::find_if(chunks.begin(), chunks.end(), [&](const BeeChunkFile& c) {
+            return c.in_use && c.name == child_id;
+          });
+      if (chunk != chunks.end()) chunk->in_use = false;
+    }
+  }
+  child->in_use = false;
+  dentries.erase(it);
+}
+
+std::uint64_t BeeCluster::meta_inodes_used() const noexcept {
+  std::uint64_t used = 0;
+  for (const auto& inode : meta_.inodes) used += inode.in_use ? 1 : 0;
+  return used;
+}
+
+std::uint64_t BeeCluster::total_chunks() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& target : targets_) {
+    for (const auto& chunk : target.chunks) total += chunk.in_use ? 1 : 0;
+  }
+  return total;
+}
+
+}  // namespace faultyrank

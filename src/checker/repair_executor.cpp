@@ -1,0 +1,385 @@
+#include "checker/repair_executor.h"
+
+#include <algorithm>
+
+namespace faultyrank {
+
+namespace {
+
+RepairOutcome failure(const RepairAction& action, std::string detail) {
+  return {action, false, std::move(detail)};
+}
+
+RepairOutcome success(const RepairAction& action, std::string detail) {
+  return {action, true, std::move(detail)};
+}
+
+}  // namespace
+
+std::optional<RepairExecutor::Located> RepairExecutor::locate(const Fid& fid) {
+  for (std::size_t m = 0; m < cluster_.mdt_count(); ++m) {
+    LdiskfsImage& mdt = cluster_.mdt_server(m).image;
+    if (Inode* inode = mdt.find_by_fid(fid)) {
+      return Located{&mdt, inode, /*on_mdt=*/true, 0};
+    }
+  }
+  for (auto& ost : cluster_.osts()) {
+    if (Inode* inode = ost.image.find_by_fid(fid)) {
+      return Located{&ost.image, inode, /*on_mdt=*/false, ost.index};
+    }
+  }
+  // OI miss: the fid may be a corrupted LMA the OI never indexed.
+  for (std::size_t m = 0; m < cluster_.mdt_count(); ++m) {
+    LdiskfsImage& mdt = cluster_.mdt_server(m).image;
+    if (Inode* inode = mdt.find_by_fid_raw(fid)) {
+      return Located{&mdt, inode, /*on_mdt=*/true, 0};
+    }
+  }
+  for (auto& ost : cluster_.osts()) {
+    if (Inode* inode = ost.image.find_by_fid_raw(fid)) {
+      return Located{&ost.image, inode, /*on_mdt=*/false, ost.index};
+    }
+  }
+  return std::nullopt;
+}
+
+RepairOutcome RepairExecutor::apply(const RepairAction& action) {
+  switch (action.kind) {
+    case RepairKind::kOverwriteId: return overwrite_id(action);
+    case RepairKind::kAddBackPointer: return add_back_pointer(action);
+    case RepairKind::kRelinkProperty: return relink_property(action);
+    case RepairKind::kRemoveReference: return remove_reference(action);
+    case RepairKind::kQuarantineLostFound: return quarantine(action);
+    case RepairKind::kNone: return success(action, "report-only");
+  }
+  return failure(action, "unknown repair kind");
+}
+
+std::vector<RepairOutcome> RepairExecutor::apply_all(const RepairPlan& plan) {
+  std::vector<RepairOutcome> outcomes;
+  outcomes.reserve(plan.size());
+  for (const auto& action : plan) outcomes.push_back(apply(action));
+  return outcomes;
+}
+
+RepairOutcome RepairExecutor::overwrite_id(const RepairAction& action) {
+  // Collect *every* object carrying the target id: under a Double
+  // Reference id collision two physical inodes share it, and only the
+  // one pointing back at `owner_hint` should be re-identified.
+  std::vector<Located> candidates;
+  const auto collect = [&](LdiskfsImage& image, bool on_mdt,
+                           std::uint32_t ost_index) {
+    image.for_each_inode_mut([&](Inode& inode) {
+      if (inode.lma_fid == action.target) {
+        candidates.push_back(Located{&image, &inode, on_mdt, ost_index});
+      }
+    });
+  };
+  for (std::size_t m = 0; m < cluster_.mdt_count(); ++m) {
+    collect(cluster_.mdt_server(m).image, true, 0);
+  }
+  for (auto& ost : cluster_.osts()) collect(ost.image, false, ost.index);
+
+  if (candidates.empty()) {
+    return failure(action, "no object carries id " + action.target.to_string());
+  }
+  Located* chosen = &candidates.front();
+  if (candidates.size() > 1 && !action.owner_hint.is_null()) {
+    for (auto& candidate : candidates) {
+      const Inode& inode = *candidate.inode;
+      const bool points_at_hint =
+          (inode.filter_fid.has_value() &&
+           inode.filter_fid->parent == action.owner_hint) ||
+          std::any_of(inode.link_ea.begin(), inode.link_ea.end(),
+                      [&](const LinkEaEntry& link) {
+                        return link.parent == action.owner_hint;
+                      });
+      if (points_at_hint) {
+        chosen = &candidate;
+        break;
+      }
+    }
+  }
+  Located* located = chosen;
+  Inode& inode = *located->inode;
+  // Keep the OI coherent: drop any mapping that still resolves to this
+  // inode, then index the corrected id.
+  located->image->oi_erase(inode.lma_fid);
+  located->image->oi_erase(action.target);
+  inode.lma_fid = action.value;
+  located->image->oi_insert(action.value, inode.ino);
+  // If another object legitimately carries the old id (collision case),
+  // make sure the OI still resolves it.
+  for (auto& candidate : candidates) {
+    if (candidate.inode != &inode &&
+        candidate.inode->lma_fid == action.target) {
+      candidate.image->oi_insert(action.target, candidate.inode->ino);
+      break;
+    }
+  }
+  return success(action, "id rewritten to " + action.value.to_string());
+}
+
+RepairOutcome RepairExecutor::add_back_pointer(const RepairAction& action) {
+  auto located = locate(action.target);
+  if (!located) {
+    return failure(action, "target object not found");
+  }
+  Inode& inode = *located->inode;
+  switch (action.edge_kind) {
+    case EdgeKind::kLinkEa: {
+      // Recover the link name from the parent's DIRENT if possible.
+      std::string name = "recovered_" + action.target.to_string();
+      if (const Inode* parent = cluster_.stat(action.value)) {
+        for (const auto& entry : parent->dirents) {
+          if (entry.fid == action.target) {
+            name = entry.name;
+            break;
+          }
+        }
+      }
+      for (auto& link : inode.link_ea) {
+        if (link.parent == action.value) {
+          return success(action, "link already present");
+        }
+      }
+      // A single-parent object with a *wrong* LinkEA gets it replaced;
+      // otherwise append.
+      if (inode.link_ea.size() == 1 &&
+          cluster_.stat(inode.link_ea[0].parent) == nullptr) {
+        inode.link_ea[0] = {action.value, name};
+      } else {
+        inode.link_ea.push_back({action.value, name});
+      }
+      return success(action, "LinkEA restored (name '" + name + "')");
+    }
+    case EdgeKind::kObjParent: {
+      std::uint32_t stripe_index = 0;
+      if (const Inode* owner = cluster_.stat(action.value);
+          owner != nullptr && owner->lov_ea.has_value()) {
+        for (std::size_t k = 0; k < owner->lov_ea->stripes.size(); ++k) {
+          if (owner->lov_ea->stripes[k].stripe == action.target) {
+            stripe_index = static_cast<std::uint32_t>(k);
+            break;
+          }
+        }
+      }
+      inode.filter_fid = FilterFid{action.value, stripe_index};
+      return success(action, "filter_fid restored");
+    }
+    case EdgeKind::kDirent: {
+      // Recover the child's name from its LinkEA.
+      std::string name = "recovered_" + action.value.to_string();
+      std::uint64_t child_ino = 0;
+      if (auto child = locate(action.value); child && child->on_mdt) {
+        child_ino = child->inode->ino;
+        for (const auto& link : child->inode->link_ea) {
+          if (link.parent == action.target) {
+            name = link.name;
+            break;
+          }
+        }
+      }
+      for (const auto& entry : inode.dirents) {
+        if (entry.fid == action.value) {
+          return success(action, "dirent already present");
+        }
+      }
+      // Avoid name collisions with an unrelated entry.
+      const bool taken = std::any_of(
+          inode.dirents.begin(), inode.dirents.end(),
+          [&name](const DirentEntry& e) { return e.name == name; });
+      if (taken) name += "_recovered";
+      inode.dirents.push_back({name, action.value, child_ino});
+      return success(action, "dirent restored (name '" + name + "')");
+    }
+    case EdgeKind::kLovEa: {
+      if (!inode.lov_ea.has_value()) {
+        inode.lov_ea = LovEa{cluster_.default_policy().stripe_size,
+                             cluster_.default_policy().stripe_count,
+                             {}};
+      }
+      for (const auto& slot : inode.lov_ea->stripes) {
+        if (slot.stripe == action.value) {
+          return success(action, "LOVEA slot already present");
+        }
+      }
+      // Find which OST holds the object and its stripe index.
+      std::uint32_t ost_index = 0;
+      std::uint32_t stripe_index =
+          static_cast<std::uint32_t>(inode.lov_ea->stripes.size());
+      if (auto object = locate(action.value); object && !object->on_mdt) {
+        ost_index = object->ost_index;
+        if (object->inode->filter_fid.has_value()) {
+          stripe_index = object->inode->filter_fid->stripe_index;
+        }
+      }
+      auto& stripes = inode.lov_ea->stripes;
+      const auto pos = std::min<std::size_t>(stripe_index, stripes.size());
+      stripes.insert(stripes.begin() + static_cast<std::ptrdiff_t>(pos),
+                     {action.value, ost_index});
+      return success(action, "LOVEA slot restored");
+    }
+    case EdgeKind::kGeneric:
+      return failure(action, "cannot add a generic back pointer");
+  }
+  return failure(action, "unhandled edge kind");
+}
+
+RepairOutcome RepairExecutor::relink_property(const RepairAction& action) {
+  auto located = locate(action.target);
+  if (!located) return failure(action, "target object not found");
+  Inode& inode = *located->inode;
+  switch (action.edge_kind) {
+    case EdgeKind::kDirent:
+      for (auto& entry : inode.dirents) {
+        if (entry.fid == action.stale) {
+          entry.fid = action.value;
+          if (auto child = locate(action.value); child && child->on_mdt) {
+            entry.ino = child->inode->ino;
+          }
+          return success(action, "dirent relinked");
+        }
+      }
+      return failure(action, "no dirent references the stale id");
+    case EdgeKind::kLovEa:
+      if (inode.lov_ea.has_value()) {
+        for (auto& slot : inode.lov_ea->stripes) {
+          if (slot.stripe == action.stale) {
+            slot.stripe = action.value;
+            if (auto object = locate(action.value); object && !object->on_mdt) {
+              slot.ost_index = object->ost_index;
+            }
+            return success(action, "LOVEA slot relinked");
+          }
+        }
+      }
+      return failure(action, "no LOVEA slot references the stale id");
+    case EdgeKind::kLinkEa:
+      for (auto& link : inode.link_ea) {
+        if (link.parent == action.stale) {
+          link.parent = action.value;
+          return success(action, "LinkEA relinked");
+        }
+      }
+      return failure(action, "no LinkEA references the stale id");
+    case EdgeKind::kObjParent:
+      if (inode.filter_fid.has_value() &&
+          inode.filter_fid->parent == action.stale) {
+        inode.filter_fid->parent = action.value;
+        return success(action, "filter_fid relinked");
+      }
+      return failure(action, "filter_fid does not reference the stale id");
+    case EdgeKind::kGeneric:
+      return failure(action, "cannot relink a generic property");
+  }
+  return failure(action, "unhandled edge kind");
+}
+
+RepairOutcome RepairExecutor::remove_reference(const RepairAction& action) {
+  auto located = locate(action.target);
+  if (!located) return failure(action, "target object not found");
+  Inode& inode = *located->inode;
+  const auto drop_one = [&](auto& container, auto predicate) {
+    const auto it =
+        std::find_if(container.begin(), container.end(), predicate);
+    if (it == container.end()) return false;
+    container.erase(it);
+    return true;
+  };
+  switch (action.edge_kind) {
+    case EdgeKind::kDirent:
+      if (drop_one(inode.dirents, [&](const DirentEntry& e) {
+            return e.fid == action.value;
+          })) {
+        return success(action, "dirent removed");
+      }
+      return failure(action, "no dirent references the id");
+    case EdgeKind::kLovEa:
+      if (inode.lov_ea.has_value() &&
+          drop_one(inode.lov_ea->stripes, [&](const LovEaEntry& e) {
+            return e.stripe == action.value;
+          })) {
+        return success(action, "LOVEA slot removed");
+      }
+      return failure(action, "no LOVEA slot references the id");
+    case EdgeKind::kLinkEa:
+      if (drop_one(inode.link_ea, [&](const LinkEaEntry& e) {
+            return e.parent == action.value;
+          })) {
+        return success(action, "LinkEA removed");
+      }
+      return failure(action, "no LinkEA references the id");
+    case EdgeKind::kObjParent:
+      if (inode.filter_fid.has_value() &&
+          inode.filter_fid->parent == action.value) {
+        inode.filter_fid.reset();
+        return success(action, "filter_fid cleared");
+      }
+      return failure(action, "filter_fid does not reference the id");
+    case EdgeKind::kGeneric:
+      return failure(action, "cannot remove a generic reference");
+  }
+  return failure(action, "unhandled edge kind");
+}
+
+RepairOutcome RepairExecutor::quarantine(const RepairAction& action) {
+  // Ensure lost+found exists *before* taking inode references: creating
+  // it allocates MDT inodes, which may grow (and move) the inode table.
+  const Fid lost_found = cluster_.lost_found();
+  auto located = locate(action.target);
+  if (!located) return failure(action, "target object not found");
+  Inode& inode = *located->inode;
+
+  MdtServer* lf_home = cluster_.mdt_for(lost_found);
+  if (lf_home == nullptr) return failure(action, "lost+found unroutable");
+
+  if (located->on_mdt) {
+    // Detach from any parent that still names it, then re-home.
+    for (const auto& link : inode.link_ea) {
+      if (Inode* parent = cluster_.find_mdt_inode(link.parent)) {
+        std::erase_if(parent->dirents, [&](const DirentEntry& e) {
+          return e.fid == inode.lma_fid;
+        });
+      }
+    }
+    const std::string name = "lf_" + inode.lma_fid.to_string();
+    // Re-locate raw: lost_found() may have allocated (moving a table).
+    Inode* target = nullptr;
+    for (std::size_t m = 0; m < cluster_.mdt_count() && target == nullptr;
+         ++m) {
+      target = cluster_.mdt_server(m).image.find_by_fid_raw(action.target);
+    }
+    if (target == nullptr) return failure(action, "object vanished");
+    target->link_ea = {{lost_found, name}};
+    Inode* lf = lf_home->image.find_by_fid(lost_found);
+    lf->dirents.push_back({name, target->lma_fid, target->ino});
+    return success(action, "moved to lost+found as '" + name + "'");
+  }
+
+  // OST object: materialize a stub file in lost+found that owns it, so
+  // the user can recover the stripe's data.
+  const std::string name = "lfobj_" + inode.lma_fid.to_string();
+  const Fid object_fid = inode.lma_fid;
+  const std::uint32_t ost_index = located->ost_index;
+  Inode* lf = lf_home->image.find_by_fid(lost_found);
+  if (lf == nullptr) return failure(action, "lost+found unavailable");
+
+  Inode& stub = lf_home->image.allocate(InodeType::kRegular);
+  stub.lma_fid = lf_home->fids.next();
+  stub.link_ea.push_back({lost_found, name});
+  stub.lov_ea = LovEa{cluster_.default_policy().stripe_size, 1,
+                      {{object_fid, ost_index}}};
+  lf_home->image.oi_insert(stub.lma_fid, stub.ino);
+  // Re-fetch lost+found (allocate may have grown the table).
+  lf = lf_home->image.find_by_fid(lost_found);
+  lf->dirents.push_back({name, stub.lma_fid, stub.ino});
+  // Point the orphan back at its new stub owner.
+  Inode* object = located->image->find_by_fid_raw(object_fid);
+  if (object != nullptr) {
+    object->filter_fid = FilterFid{stub.lma_fid, 0};
+  }
+  return success(action, "orphan object stubbed into lost+found");
+}
+
+}  // namespace faultyrank

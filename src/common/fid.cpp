@@ -1,0 +1,53 @@
+#include "common/fid.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace faultyrank {
+
+std::string Fid::to_string() const {
+  char buf[64];
+  const int n = std::snprintf(buf, sizeof(buf), "[0x%llx:0x%x:0x%x]",
+                              static_cast<unsigned long long>(seq), oid, ver);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+namespace {
+
+// Parses a "0x<hex>" token from [pos, text.size()) up to the given
+// delimiter; advances pos past the delimiter. Returns nullopt on error.
+std::optional<std::uint64_t> parse_hex_until(std::string_view text,
+                                             std::size_t& pos,
+                                             char delimiter) {
+  if (text.substr(pos, 2) != "0x") return std::nullopt;
+  pos += 2;
+  std::uint64_t value = 0;
+  const char* begin = text.data() + pos;
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value, 16);
+  if (ec != std::errc{} || ptr == begin) return std::nullopt;
+  pos += static_cast<std::size_t>(ptr - begin);
+  if (pos >= text.size() || text[pos] != delimiter) return std::nullopt;
+  ++pos;
+  return value;
+}
+
+}  // namespace
+
+std::optional<Fid> Fid::parse(std::string_view text) {
+  if (text.size() < 2 || text.front() != '[' || text.back() != ']') {
+    return std::nullopt;
+  }
+  std::size_t pos = 1;
+  const auto seq = parse_hex_until(text, pos, ':');
+  if (!seq) return std::nullopt;
+  const auto oid = parse_hex_until(text, pos, ':');
+  if (!oid || *oid > 0xffffffffULL) return std::nullopt;
+  const auto ver = parse_hex_until(text, pos, ']');
+  if (!ver || *ver > 0xffffffffULL) return std::nullopt;
+  if (pos != text.size()) return std::nullopt;
+  return Fid{*seq, static_cast<std::uint32_t>(*oid),
+             static_cast<std::uint32_t>(*ver)};
+}
+
+}  // namespace faultyrank

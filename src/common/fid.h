@@ -1,0 +1,59 @@
+// Lustre-style file identifiers (FIDs).
+//
+// Lustre identifies every namespace object (directory, file) and every
+// OST data object with a cluster-unique 128-bit FID [seq:oid:ver].
+// The simulated PFS, the scanners, and the metadata graph all key
+// objects by FID, exactly as the FaultyRank prototype does.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace faultyrank {
+
+/// A 128-bit Lustre file identifier: [sequence : object id : version].
+///
+/// Sequence ranges partition the FID space between servers (each MDT and
+/// OST owns distinct sequences), so FIDs are unique across the cluster
+/// and can be merged from independently-built partial graphs without
+/// collision.
+struct Fid {
+  std::uint64_t seq = 0;  ///< sequence number (allocated per server)
+  std::uint32_t oid = 0;  ///< object id within the sequence
+  std::uint32_t ver = 0;  ///< version (0 for live objects)
+
+  friend constexpr auto operator<=>(const Fid&, const Fid&) = default;
+
+  /// True for the reserved all-zero "no object" FID.
+  [[nodiscard]] constexpr bool is_null() const noexcept {
+    return seq == 0 && oid == 0 && ver == 0;
+  }
+
+  /// Renders in Lustre's canonical textual form: [0xseq:0xoid:0xver].
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses the canonical form produced by to_string().
+  /// Returns std::nullopt on any syntactic error.
+  [[nodiscard]] static std::optional<Fid> parse(std::string_view text);
+};
+
+/// The reserved null FID ("points at nothing").
+inline constexpr Fid kNullFid{};
+
+/// 64-bit mix hash over all three FID components (splitmix64 finalizer).
+struct FidHash {
+  [[nodiscard]] std::size_t operator()(const Fid& f) const noexcept {
+    std::uint64_t x = f.seq;
+    x ^= (static_cast<std::uint64_t>(f.oid) << 32) | f.ver;
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
+
+}  // namespace faultyrank

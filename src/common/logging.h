@@ -1,0 +1,25 @@
+// Tiny leveled logger. Benches and examples log milestones at Info;
+// library code logs only at Debug so default output stays clean.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace faultyrank {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Default: Info.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// printf-style logging to stderr with a level prefix.
+void log(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define FR_LOG_DEBUG(...) ::faultyrank::log(::faultyrank::LogLevel::kDebug, __VA_ARGS__)
+#define FR_LOG_INFO(...) ::faultyrank::log(::faultyrank::LogLevel::kInfo, __VA_ARGS__)
+#define FR_LOG_WARN(...) ::faultyrank::log(::faultyrank::LogLevel::kWarn, __VA_ARGS__)
+#define FR_LOG_ERROR(...) ::faultyrank::log(::faultyrank::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace faultyrank

@@ -1,0 +1,57 @@
+// Minimal fixed-size thread pool with a blocking parallel_for.
+//
+// Used by the rank kernel (vertex-range partitioning) and the scanner
+// driver (one task per simulated server). Rank updates are pull-style,
+// so workers write disjoint output ranges and need no synchronization
+// beyond the fork/join barrier.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace faultyrank {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not throw; exceptions escaping a task
+  /// terminate the process (checker passes report errors by value).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void wait_idle();
+
+  /// Splits [0, n) into one contiguous chunk per worker and runs
+  /// body(begin, end, chunk_index) on the pool; blocks until all chunks
+  /// complete. Chunk boundaries depend only on (n, size()), so results
+  /// of pull-style kernels are deterministic for a fixed thread count.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t,
+                                             std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace faultyrank

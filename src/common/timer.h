@@ -1,0 +1,27 @@
+// Wall-clock measurement helpers for the benchmark harness.
+#pragma once
+
+#include <chrono>
+
+namespace faultyrank {
+
+/// Monotonic stopwatch. Started on construction; restart() re-arms it.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last restart().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace faultyrank

@@ -1,0 +1,117 @@
+// Inconsistency detection and root-cause attribution (paper §III-F).
+//
+// The detector walks the pairing analysis of the unified graph (the
+// S_chk set: every unpaired edge, every unreferenced scanned object,
+// every over-referenced object), classifies each record into one of the
+// paper's four Table I categories, attributes the root cause by
+// comparing the mean-normalized FaultyRank scores of the candidate
+// fields against the threshold θ (paper: 0.1), and emits a concrete
+// repair recommendation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/faultyrank.h"
+#include "core/repair.h"
+#include "graph/unified_graph.h"
+
+namespace faultyrank {
+
+/// Table I's four inconsistency categories, plus one beyond the paper:
+/// kNamespaceCycle covers the case §VI calls out as undetectable by
+/// pairing ("multiple paired metadata are all wrong but pointing to
+/// each other coherently") — a detached directory cycle has no unpaired
+/// edge at all, but a reachability pass from the root exposes it.
+enum class InconsistencyCategory : std::uint8_t {
+  kDanglingReference,   ///< a's property cannot locate b
+  kUnreferencedObject,  ///< no object refers to b
+  kDoubleReference,     ///< more than one object refers to b
+  kMismatch,            ///< a refers to b, b does not point back
+  kNamespaceCycle,      ///< directories form a cycle detached from root
+};
+
+[[nodiscard]] constexpr const char* to_string(
+    InconsistencyCategory c) noexcept {
+  switch (c) {
+    case InconsistencyCategory::kDanglingReference: return "dangling-reference";
+    case InconsistencyCategory::kUnreferencedObject: return "unreferenced-object";
+    case InconsistencyCategory::kDoubleReference: return "double-reference";
+    case InconsistencyCategory::kMismatch: return "mismatch";
+    case InconsistencyCategory::kNamespaceCycle: return "namespace-cycle";
+  }
+  return "?";
+}
+
+/// Which metadata field the evidence convicts.
+enum class FaultyField : std::uint8_t {
+  kSourceProperty,  ///< the referencing object's property is wrong
+  kSourceId,        ///< the referencing object's id is wrong
+  kTargetProperty,  ///< the referenced object's property is wrong
+  kTargetId,        ///< the referenced object's id is wrong
+  kUndetermined,    ///< ranks do not single out a culprit
+};
+
+[[nodiscard]] constexpr const char* to_string(FaultyField f) noexcept {
+  switch (f) {
+    case FaultyField::kSourceProperty: return "source.property";
+    case FaultyField::kSourceId: return "source.id";
+    case FaultyField::kTargetProperty: return "target.property";
+    case FaultyField::kTargetId: return "target.id";
+    case FaultyField::kUndetermined: return "undetermined";
+  }
+  return "?";
+}
+
+/// One detected inconsistency with its evidence and repair.
+struct Finding {
+  InconsistencyCategory category = InconsistencyCategory::kMismatch;
+  FaultyField culprit = FaultyField::kUndetermined;
+
+  Fid source;  ///< referencing object (null for vertex-level findings)
+  Fid target;  ///< referenced / affected object
+  EdgeKind edge_kind = EdgeKind::kGeneric;
+
+  /// The object whose metadata the evidence convicts (may differ from
+  /// both endpoints, e.g. the mis-identified object behind a dangling
+  /// reference), and whether its id (true) or property (false) is the
+  /// convicted field. Null FID when undetermined.
+  Fid convicted_object;
+  bool convicted_id_field = false;
+
+  // Mean-normalized rank evidence for the two endpoints.
+  double source_id_rank = 0.0;
+  double source_prop_rank = 0.0;
+  double target_id_rank = 0.0;
+  double target_prop_rank = 0.0;
+
+  RepairAction repair;
+  std::string note;
+};
+
+struct DetectorConfig {
+  /// Fields whose mean-normalized rank falls below this are candidate
+  /// culprits. The paper states θ = 0.1 against ranks that sum to 1
+  /// over its 4-vertex example (Table II), i.e. 0.4× the mean rank —
+  /// which is the scale-free form that carries to graphs of any size.
+  double threshold = 0.4;
+  /// FID of the filesystem root (exempt from the unreferenced check —
+  /// nothing points at the root directory by design).
+  Fid root;
+};
+
+struct DetectionReport {
+  std::vector<Finding> findings;
+
+  [[nodiscard]] bool consistent() const noexcept { return findings.empty(); }
+  [[nodiscard]] std::size_t count(InconsistencyCategory category) const;
+  [[nodiscard]] RepairPlan repair_plan() const;
+};
+
+/// Runs detection over `graph` using the credibility scores in `ranks`.
+[[nodiscard]] DetectionReport detect_inconsistencies(
+    const UnifiedGraph& graph, const FaultyRankResult& ranks,
+    const DetectorConfig& config = {});
+
+}  // namespace faultyrank

@@ -1,0 +1,215 @@
+#include "core/faultyrank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace faultyrank {
+
+namespace {
+
+/// Runs body(begin, end, chunk) over [0, n), on the pool if provided.
+/// `chunks` reports how many chunks were used (for sized partial-sum
+/// buffers).
+template <typename Body>
+std::size_t run_chunked(ThreadPool* pool, std::size_t n, const Body& body) {
+  if (pool == nullptr || pool->size() <= 1 || n < 2048) {
+    if (n > 0) body(0, n, 0);
+    return 1;
+  }
+  pool->parallel_for(n, body);
+  return std::min(n, pool->size());
+}
+
+}  // namespace
+
+FaultyRankResult run_faultyrank(const UnifiedGraph& graph,
+                                const FaultyRankConfig& config,
+                                ThreadPool* pool) {
+  if (config.epsilon <= 0.0) {
+    throw std::invalid_argument("faultyrank: epsilon must be positive");
+  }
+  if (config.unpaired_weight < 0.0 || config.unpaired_weight > 1.0) {
+    throw std::invalid_argument(
+        "faultyrank: unpaired_weight must be within [0, 1]");
+  }
+
+  const std::size_t n = graph.vertex_count();
+  FaultyRankResult result;
+  result.mean_rank = config.initial_rank;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  const Csr& forward = graph.forward();
+  const Csr& reverse = graph.reverse();
+
+  // Weighted out-degree of each vertex in the *reversed* graph: each
+  // in-edge of v in G is an out-edge of v in G_R, weighted by whether
+  // the original edge is paired (Fig. 4).
+  std::vector<double> reversed_weighted_degree(n);
+  for (Gid v = 0; v < n; ++v) {
+    reversed_weighted_degree[v] =
+        static_cast<double>(graph.paired_in_degree(v)) +
+        config.unpaired_weight * static_cast<double>(graph.unpaired_in_degree(v));
+  }
+
+  if ((config.initial_id_ranks == nullptr) !=
+      (config.initial_prop_ranks == nullptr)) {
+    throw std::invalid_argument(
+        "faultyrank: warm start requires both rank vectors");
+  }
+  if (config.initial_id_ranks != nullptr &&
+      (config.initial_id_ranks->size() != n ||
+       config.initial_prop_ranks->size() != n)) {
+    throw std::invalid_argument(
+        "faultyrank: warm-start vectors must match the vertex count");
+  }
+  std::vector<double> id_rank = config.initial_id_ranks != nullptr
+                                    ? *config.initial_id_ranks
+                                    : std::vector<double>(n, config.initial_rank);
+  std::vector<double> prop_rank =
+      config.initial_prop_ranks != nullptr
+          ? *config.initial_prop_ranks
+          : std::vector<double>(n, config.initial_rank);
+  std::vector<double> next(n, 0.0);
+
+  const double inv_n = 1.0 / static_cast<double>(n);
+  const std::size_t max_chunks =
+      pool != nullptr ? std::max<std::size_t>(pool->size(), 1) : 1;
+  std::vector<double> partial(max_chunks);
+
+  // Deterministic reduction: per-chunk partial sums combined in chunk
+  // order, so results are bit-identical for a fixed thread count.
+  const auto reduce = [&](const auto& term) {
+    std::fill(partial.begin(), partial.end(), 0.0);
+    const std::size_t used = run_chunked(
+        pool, n, [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+          double acc = 0.0;
+          for (std::size_t v = begin; v < end; ++v) acc += term(v);
+          partial[chunk] = acc;
+        });
+    double total = 0.0;
+    for (std::size_t c = 0; c < used; ++c) total += partial[c];
+    return total;
+  };
+
+  double diff = 0.0;
+  std::size_t iteration = 0;
+  for (; iteration < config.max_iterations; ++iteration) {
+    // ---- Pass 1: id_rank from prop_rank over G (pull via G_R). ----
+    // Sinks in G (out-degree 0) spread their property mass uniformly.
+    const double sink_share =
+        reduce([&](std::size_t v) {
+          return forward.out_degree(static_cast<Gid>(v)) == 0
+                     ? prop_rank[v]
+                     : 0.0;
+        }) *
+        inv_n;
+
+    run_chunked(pool, n,
+                [&](std::size_t begin, std::size_t end, std::size_t) {
+                  for (std::size_t v = begin; v < end; ++v) {
+                    double acc = sink_share;
+                    const auto gv = static_cast<Gid>(v);
+                    for (auto slot = reverse.edges_begin(gv);
+                         slot < reverse.edges_end(gv); ++slot) {
+                      const Gid u = reverse.target(slot);
+                      acc += prop_rank[u] /
+                             static_cast<double>(forward.out_degree(u));
+                    }
+                    next[v] = acc;
+                  }
+                });
+
+    diff = reduce([&](std::size_t v) { return std::abs(next[v] - id_rank[v]); });
+    if (config.diff_norm == DiffNorm::kL1Mass) {
+      diff *= inv_n / config.initial_rank;
+    } else if (config.diff_norm == DiffNorm::kL1Mean) {
+      diff *= inv_n;
+    } else if (config.diff_norm == DiffNorm::kLInf) {
+      // Recompute as a max; the L1 reduce above is discarded.
+      double max_delta = 0.0;
+      for (std::size_t v = 0; v < n; ++v) {
+        max_delta = std::max(max_delta, std::abs(next[v] - id_rank[v]));
+      }
+      diff = max_delta;
+    }
+    id_rank.swap(next);
+
+    // ---- Pass 2: prop_rank from id_rank over G_R (pull via G). ----
+    // Sinks in G_R are vertices whose reversed weighted degree is zero
+    // (no in-edges in G, or all in-edges unpaired under weight 0).
+    const double sink_share_reversed =
+        reduce([&](std::size_t v) {
+          return reversed_weighted_degree[v] == 0.0 ? id_rank[v] : 0.0;
+        }) *
+        inv_n;
+
+    run_chunked(
+        pool, n, [&](std::size_t begin, std::size_t end, std::size_t) {
+          for (std::size_t v = begin; v < end; ++v) {
+            double acc = sink_share_reversed;
+            const auto gv = static_cast<Gid>(v);
+            // Each forward edge v→t is a reversed edge t→v carrying
+            // id_rank[t] scaled by the pairing weight of v→t.
+            for (auto slot = forward.edges_begin(gv);
+                 slot < forward.edges_end(gv); ++slot) {
+              const Gid t = forward.target(slot);
+              const double denom = reversed_weighted_degree[t];
+              if (denom == 0.0) continue;  // t handled as reversed sink
+              const double w =
+                  graph.paired(slot) ? 1.0 : config.unpaired_weight;
+              acc += id_rank[t] * w / denom;
+            }
+            next[v] = acc;
+          }
+        });
+    prop_rank.swap(next);
+
+    if (diff < config.epsilon) {
+      ++iteration;
+      result.converged = true;
+      break;
+    }
+  }
+
+  if (config.separate_properties) {
+    // One decomposition pass from the converged id ranks: split each
+    // vertex's pass-2 gather by the kind of the out-edge carrying it
+    // (the reversed-sink share is global and excluded by construction).
+    result.prop_rank_by_kind.assign(kEdgeKindCount,
+                                    std::vector<double>(n, 0.0));
+    run_chunked(pool, n, [&](std::size_t begin, std::size_t end,
+                             std::size_t) {
+      for (std::size_t v = begin; v < end; ++v) {
+        const auto gv = static_cast<Gid>(v);
+        for (auto slot = forward.edges_begin(gv);
+             slot < forward.edges_end(gv); ++slot) {
+          const Gid t = forward.target(slot);
+          const double denom = reversed_weighted_degree[t];
+          if (denom == 0.0) continue;
+          const double w = graph.paired(slot) ? 1.0 : config.unpaired_weight;
+          const auto kind = static_cast<std::size_t>(forward.kind(slot));
+          result.prop_rank_by_kind[kind][v] += id_rank[t] * w / denom;
+        }
+      }
+    });
+  }
+
+  // Mass is conserved, so the mean equals the initialization's mean —
+  // compute it from the converged vector so warm starts normalize
+  // correctly too.
+  double total_mass = 0.0;
+  for (const double rank : id_rank) total_mass += rank;
+  result.mean_rank = n > 0 ? total_mass / static_cast<double>(n) : 1.0;
+
+  result.id_rank = std::move(id_rank);
+  result.prop_rank = std::move(prop_rank);
+  result.iterations = iteration;
+  result.final_diff = diff;
+  return result;
+}
+
+}  // namespace faultyrank

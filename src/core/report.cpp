@@ -1,0 +1,131 @@
+#include "core/report.h"
+
+#include <array>
+#include <cstdio>
+
+namespace faultyrank {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(ch));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+constexpr std::array<InconsistencyCategory, 5> kCategories = {
+    InconsistencyCategory::kDanglingReference,
+    InconsistencyCategory::kUnreferencedObject,
+    InconsistencyCategory::kDoubleReference,
+    InconsistencyCategory::kMismatch,
+    InconsistencyCategory::kNamespaceCycle,
+};
+
+std::string format_double(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_text(const DetectionReport& report) {
+  std::string out;
+  if (report.consistent()) {
+    return "filesystem is consistent: no findings\n";
+  }
+  out += std::to_string(report.findings.size()) + " finding(s):\n";
+  for (const InconsistencyCategory category : kCategories) {
+    const std::size_t count = report.count(category);
+    if (count > 0) {
+      out += "  " + std::string(to_string(category)) + ": " +
+             std::to_string(count) + "\n";
+    }
+  }
+  std::size_t index = 0;
+  for (const Finding& f : report.findings) {
+    out += "\n[" + std::to_string(index++) + "] " +
+           std::string(to_string(f.category)) + "\n";
+    if (!f.source.is_null()) out += "  source:  " + f.source.to_string() + "\n";
+    out += "  target:  " + f.target.to_string() + "\n";
+    out += "  culprit: " + std::string(to_string(f.culprit));
+    if (!f.convicted_object.is_null()) {
+      out += " (" + f.convicted_object.to_string() + "." +
+             (f.convicted_id_field ? "id" : "property") + ")";
+    }
+    out += "\n  ranks:   src=[" + format_double(f.source_id_rank) + "," +
+           format_double(f.source_prop_rank) + "] dst=[" +
+           format_double(f.target_id_rank) + "," +
+           format_double(f.target_prop_rank) + "]\n";
+    out += "  repair:  " + std::string(to_string(f.repair.kind));
+    if (!f.repair.target.is_null()) {
+      out += " target=" + f.repair.target.to_string();
+    }
+    if (!f.repair.value.is_null()) {
+      out += " value=" + f.repair.value.to_string();
+    }
+    out += "\n  note:    " + f.note + "\n";
+  }
+  return out;
+}
+
+std::string render_json(const DetectionReport& report) {
+  std::string out = "{\n";
+  out += "  \"consistent\": " +
+         std::string(report.consistent() ? "true" : "false") + ",\n";
+  out += "  \"finding_count\": " + std::to_string(report.findings.size()) +
+         ",\n";
+  out += "  \"categories\": {";
+  bool first = true;
+  for (const InconsistencyCategory category : kCategories) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + std::string(to_string(category)) +
+           "\": " + std::to_string(report.count(category));
+  }
+  out += "},\n";
+  out += "  \"findings\": [\n";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    out += "    {\"category\": \"" + std::string(to_string(f.category)) +
+           "\"";
+    out += ", \"culprit\": \"" + std::string(to_string(f.culprit)) + "\"";
+    out += ", \"source\": \"" + f.source.to_string() + "\"";
+    out += ", \"target\": \"" + f.target.to_string() + "\"";
+    out += ", \"convicted\": \"" + f.convicted_object.to_string() + "\"";
+    out += ", \"convicted_field\": \"" +
+           std::string(f.convicted_id_field ? "id" : "property") + "\"";
+    out += ", \"ranks\": {\"source_id\": " + format_double(f.source_id_rank) +
+           ", \"source_prop\": " + format_double(f.source_prop_rank) +
+           ", \"target_id\": " + format_double(f.target_id_rank) +
+           ", \"target_prop\": " + format_double(f.target_prop_rank) + "}";
+    out += ", \"repair\": {\"kind\": \"" +
+           std::string(to_string(f.repair.kind)) + "\", \"target\": \"" +
+           f.repair.target.to_string() + "\", \"value\": \"" +
+           f.repair.value.to_string() + "\"}";
+    out += ", \"note\": \"" + json_escape(f.note) + "\"}";
+    out += i + 1 < report.findings.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace faultyrank

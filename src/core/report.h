@@ -1,0 +1,32 @@
+// Rendering of detection reports for humans and machines.
+//
+// render_text gives the operator-facing summary the CLI prints;
+// render_json emits a stable, line-oriented JSON document for tooling
+// (dashboards, CI gates on checker output). JSON is hand-emitted — the
+// schema is flat and the library carries no third-party dependencies.
+#pragma once
+
+#include <string>
+
+#include "core/detector.h"
+
+namespace faultyrank {
+
+/// Multi-line human-readable report (one block per finding).
+[[nodiscard]] std::string render_text(const DetectionReport& report);
+
+/// JSON document:
+/// {
+///   "consistent": bool,
+///   "finding_count": N,
+///   "categories": {"dangling-reference": n, ...},
+///   "findings": [ {category, culprit, source, target, convicted,
+///                  convicted_field, ranks{...}, repair{kind, target,
+///                  value}, note}, ... ]
+/// }
+[[nodiscard]] std::string render_json(const DetectionReport& report);
+
+/// Escapes a string for embedding in a JSON document.
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+}  // namespace faultyrank

@@ -1,0 +1,132 @@
+// Fault injection for the paper's eight inconsistency scenarios
+// (Fig. 7: the four Table I categories × two root causes each).
+//
+// Faults are introduced exactly as in the paper's evaluation: by
+// editing the extended attributes of ldiskfs inodes behind the
+// namespace layer. Id corruptions also update the OI the way a
+// completed OI scrub would (lookup by the old id fails afterwards) —
+// without that, neither checker could observe the corruption.
+//
+// Every injection returns a GroundTruth record naming the corrupted
+// object and field, against which detector findings are scored.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/detector.h"
+#include "pfs/cluster.h"
+
+namespace faultyrank {
+
+enum class Scenario : std::uint8_t {
+  // Dangling Reference (a's property cannot locate b)
+  kDanglingSourceProperty = 0,  ///< a's LOVEA slots corrupted to bogus ids
+  kDanglingTargetId = 1,        ///< b's (OST object) id corrupted
+  // Unreferenced Object (no object refers to b)
+  kUnreferencedNeighborProps = 2,  ///< parent's DIRENT entries wiped
+  kUnreferencedTargetId = 3,       ///< b's (directory) id corrupted
+  // Double Reference (more than one object refers to b)
+  kDoubleRefDuplicateProperty = 4,  ///< a's LOVEA slot duplicates c's
+  kDoubleRefDuplicateId = 5,        ///< b's id duplicates c's
+  // Mismatch (a refers to b, b does not point back)
+  kMismatchTargetProperty = 6,  ///< b's filter_fid corrupted
+  kMismatchSourceId = 7,        ///< a's (file) id corrupted
+};
+
+inline constexpr Scenario kAllScenarios[] = {
+    Scenario::kDanglingSourceProperty,   Scenario::kDanglingTargetId,
+    Scenario::kUnreferencedNeighborProps, Scenario::kUnreferencedTargetId,
+    Scenario::kDoubleRefDuplicateProperty, Scenario::kDoubleRefDuplicateId,
+    Scenario::kMismatchTargetProperty,   Scenario::kMismatchSourceId,
+};
+
+[[nodiscard]] const char* to_string(Scenario scenario) noexcept;
+[[nodiscard]] InconsistencyCategory category_of(Scenario scenario) noexcept;
+
+struct GroundTruth {
+  Scenario scenario = Scenario::kDanglingSourceProperty;
+  /// The corrupted object's identity before the fault.
+  Fid victim;
+  /// Its identity after the fault (differs from `victim` only for id
+  /// corruptions).
+  Fid current;
+  /// true = the id field was corrupted; false = a property field.
+  bool id_field = false;
+  /// Property faults: the reference value that was destroyed / id
+  /// faults: the original id (== victim).
+  Fid original_value;
+  /// The victim inode's size at injection time. A "repair" that only
+  /// resurrects the id on an empty re-created object (LFSCK's dangling
+  /// rule) does not restore this.
+  std::uint64_t victim_size = 0;
+  std::string description;
+};
+
+class InjectionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(LustreCluster& cluster, std::uint64_t seed)
+      : cluster_(cluster), rng_(seed) {}
+
+  /// Injects one scenario on a randomly chosen eligible victim.
+  /// Throws InjectionError when the cluster holds no eligible victim
+  /// (e.g. no file with two stripes).
+  GroundTruth inject(Scenario scenario);
+
+  /// Injects `count` random scenarios on distinct victims.
+  std::vector<GroundTruth> inject_campaign(std::size_t count);
+
+  /// Beyond the paper's eight: detaches a directory from its parent and
+  /// closes it into a cycle with one of its child directories — every
+  /// edge in the cycle pairs correctly, which is exactly the
+  /// "coherently wrong" case the paper's §VI declares undetectable by
+  /// pairing. Returns the cycle head as the victim. Throws
+  /// InjectionError when no directory with a child directory exists.
+  GroundTruth inject_namespace_cycle();
+
+ private:
+  [[nodiscard]] Fid make_bogus_fid();
+  /// Regular files with at least `min_stripes` stripes, outside
+  /// lost+found and not previously victimized.
+  [[nodiscard]] std::vector<Fid> candidate_files(std::size_t min_stripes);
+  /// Directories with at least `min_children` entries, excluding the
+  /// root and the .lustre subtree.
+  [[nodiscard]] std::vector<Fid> candidate_dirs(std::size_t min_children);
+  [[nodiscard]] Fid pick(std::vector<Fid> candidates, const char* what);
+  void mark_used(const Fid& fid) { used_.push_back(fid); }
+  [[nodiscard]] bool is_used(const Fid& fid) const;
+
+  /// Rewrites an inode's LMA (and keeps the OI consistent, modelling a
+  /// completed OI scrub).
+  static void corrupt_id(LdiskfsImage& image, Inode& inode, const Fid& to);
+
+  LustreCluster& cluster_;
+  Rng rng_;
+  std::uint32_t bogus_counter_ = 0;
+  std::vector<Fid> used_;
+};
+
+/// How a detection report scores against one injected fault.
+struct EvalOutcome {
+  bool detected = false;              ///< some finding involves the victim
+  bool root_cause_identified = false; ///< convicted object+field match
+  bool repair_recommended = false;    ///< a concrete (non-None) repair
+};
+
+[[nodiscard]] EvalOutcome evaluate_report(const DetectionReport& report,
+                                          const GroundTruth& truth);
+
+/// Post-repair ground-truth check: is the corrupted field back to a
+/// state equivalent to before the fault (the object reachable again
+/// under its original id / the destroyed reference restored)?
+[[nodiscard]] bool verify_restored(const LustreCluster& cluster,
+                                   const GroundTruth& truth);
+
+}  // namespace faultyrank

@@ -1,0 +1,90 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace faultyrank {
+
+Csr Csr::build(std::size_t vertex_count, std::span<const GidEdge> edges) {
+  Csr csr;
+  csr.offsets_.assign(vertex_count + 1, 0);
+
+  for (const auto& e : edges) {
+    if (e.src >= vertex_count || e.dst >= vertex_count) {
+      throw std::out_of_range("csr: edge endpoint out of range");
+    }
+    ++csr.offsets_[e.src + 1];
+  }
+  std::partial_sum(csr.offsets_.begin(), csr.offsets_.end(),
+                   csr.offsets_.begin());
+
+  csr.targets_.resize(edges.size());
+  csr.kinds_.resize(edges.size());
+  std::vector<std::uint64_t> cursor(csr.offsets_.begin(),
+                                    csr.offsets_.end() - 1);
+  for (const auto& e : edges) {
+    const std::uint64_t slot = cursor[e.src]++;
+    csr.targets_[slot] = e.dst;
+    csr.kinds_[slot] = e.kind;
+  }
+
+  // Sort each adjacency by (target, kind) for binary-searchable,
+  // deterministic neighbour order. One scratch buffer reused across
+  // vertices keeps the pass allocation-free.
+  std::vector<std::pair<Gid, EdgeKind>> scratch;
+  for (std::size_t v = 0; v < vertex_count; ++v) {
+    const auto begin = csr.offsets_[v];
+    const auto end = csr.offsets_[v + 1];
+    if (end - begin < 2) continue;
+    scratch.clear();
+    for (auto slot = begin; slot < end; ++slot) {
+      scratch.emplace_back(csr.targets_[slot], csr.kinds_[slot]);
+    }
+    std::sort(scratch.begin(), scratch.end());
+    for (std::uint64_t i = 0; i < scratch.size(); ++i) {
+      csr.targets_[begin + i] = scratch[i].first;
+      csr.kinds_[begin + i] = scratch[i].second;
+    }
+  }
+  return csr;
+}
+
+Csr Csr::reversed() const {
+  std::vector<GidEdge> reversed_edges;
+  reversed_edges.reserve(targets_.size());
+  for (std::size_t v = 0; v + 1 < offsets_.size(); ++v) {
+    for (auto slot = offsets_[v]; slot < offsets_[v + 1]; ++slot) {
+      reversed_edges.push_back(
+          {targets_[slot], static_cast<Gid>(v), kinds_[slot]});
+    }
+  }
+  return build(vertex_count(), reversed_edges);
+}
+
+bool Csr::has_edge(Gid u, Gid v) const noexcept {
+  const auto begin = targets_.begin() + static_cast<std::ptrdiff_t>(offsets_[u]);
+  const auto end = targets_.begin() + static_cast<std::ptrdiff_t>(offsets_[u + 1]);
+  return std::binary_search(begin, end, v);
+}
+
+bool Csr::has_edge(Gid u, Gid v, EdgeKind kind) const noexcept {
+  const auto begin = targets_.begin() + static_cast<std::ptrdiff_t>(offsets_[u]);
+  const auto end = targets_.begin() + static_cast<std::ptrdiff_t>(offsets_[u + 1]);
+  auto [lo, hi] = std::equal_range(begin, end, v);
+  for (auto it = lo; it != hi; ++it) {
+    const auto slot = static_cast<std::uint64_t>(it - targets_.begin());
+    if (kinds_[slot] == kind) return true;
+  }
+  return false;
+}
+
+std::uint64_t Csr::edge_multiplicity(Gid u, Gid v) const noexcept {
+  const auto begin = targets_.begin() + static_cast<std::ptrdiff_t>(offsets_[u]);
+  const auto end = targets_.begin() + static_cast<std::ptrdiff_t>(offsets_[u + 1]);
+  auto [lo, hi] = std::equal_range(begin, end, v);
+  return static_cast<std::uint64_t>(hi - lo);
+}
+
+}  // namespace faultyrank

@@ -1,0 +1,100 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace faultyrank {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("edge list " + what + ": " + path);
+}
+
+}  // namespace
+
+void write_edge_list(const std::string& path, std::uint64_t vertex_count,
+                     const std::vector<GidEdge>& edges) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) fail("open for write failed", path);
+  const std::uint64_t edge_count = edges.size();
+  if (std::fwrite(&vertex_count, sizeof(vertex_count), 1, f.get()) != 1 ||
+      std::fwrite(&edge_count, sizeof(edge_count), 1, f.get()) != 1) {
+    fail("header write failed", path);
+  }
+  for (const auto& e : edges) {
+    const std::uint32_t pair[2] = {e.src, e.dst};
+    if (std::fwrite(pair, sizeof(pair), 1, f.get()) != 1) {
+      fail("edge write failed", path);
+    }
+  }
+}
+
+EdgeListFile read_edge_list(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) fail("open for read failed", path);
+  EdgeListFile result;
+  std::uint64_t edge_count = 0;
+  if (std::fread(&result.vertex_count, sizeof(result.vertex_count), 1,
+                 f.get()) != 1 ||
+      std::fread(&edge_count, sizeof(edge_count), 1, f.get()) != 1) {
+    fail("header read failed", path);
+  }
+  result.edges.resize(edge_count);
+  for (auto& e : result.edges) {
+    std::uint32_t pair[2];
+    if (std::fread(pair, sizeof(pair), 1, f.get()) != 1) {
+      fail("edge read failed (truncated)", path);
+    }
+    e = {pair[0], pair[1], EdgeKind::kGeneric};
+  }
+  return result;
+}
+
+EdgeListFile read_snap_text(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) fail("open for read failed", path);
+
+  EdgeListFile result;
+  std::unordered_map<std::uint64_t, Gid> compact;
+  const auto intern = [&](std::uint64_t raw) {
+    const auto [it, inserted] =
+        compact.emplace(raw, static_cast<Gid>(compact.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  char line[256];
+  std::size_t line_number = 0;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    ++line_number;
+    const char* cursor = line;
+    while (*cursor == ' ' || *cursor == '\t') ++cursor;
+    if (*cursor == '#' || *cursor == '\n' || *cursor == '\0') continue;
+    char* end = nullptr;
+    const std::uint64_t src = std::strtoull(cursor, &end, 10);
+    if (end == cursor) {
+      fail("unparseable line " + std::to_string(line_number) + " in", path);
+    }
+    cursor = end;
+    const std::uint64_t dst = std::strtoull(cursor, &end, 10);
+    if (end == cursor) {
+      fail("unparseable line " + std::to_string(line_number) + " in", path);
+    }
+    result.edges.push_back({intern(src), intern(dst), EdgeKind::kGeneric});
+  }
+  result.vertex_count = compact.size();
+  return result;
+}
+
+}  // namespace faultyrank

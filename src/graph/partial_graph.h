@@ -1,0 +1,57 @@
+// Partial metadata graphs — the scanner's output.
+//
+// Each scanner walks one server's local image and emits (a) the set of
+// objects it saw, keyed by FID, and (b) the directed edges extracted
+// from their metadata properties. Partial graphs are serialized, shipped
+// to the MDS aggregator in one bulk transfer, and merged into the
+// unified graph (paper §IV-A/B).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fid.h"
+#include "common/serdes.h"
+#include "graph/types.h"
+
+namespace faultyrank {
+
+/// One scanned object: it exists on disk with this FID and kind.
+struct VertexRecord {
+  Fid fid;
+  ObjectKind kind = ObjectKind::kPhantom;
+
+  friend bool operator==(const VertexRecord&, const VertexRecord&) = default;
+};
+
+/// One directed reference extracted from a metadata property.
+struct FidEdge {
+  Fid src;
+  Fid dst;
+  EdgeKind kind = EdgeKind::kGeneric;
+
+  friend bool operator==(const FidEdge&, const FidEdge&) = default;
+};
+
+/// The per-server scan result.
+struct PartialGraph {
+  std::string server;  ///< e.g. "mds0", "oss3"
+  std::vector<VertexRecord> vertices;
+  std::vector<FidEdge> edges;
+
+  void add_vertex(Fid fid, ObjectKind kind) { vertices.push_back({fid, kind}); }
+  void add_edge(Fid src, Fid dst, EdgeKind kind) {
+    edges.push_back({src, dst, kind});
+  }
+
+  /// Wire size of the serialized form (what the aggregator's network
+  /// model charges for the bulk transfer).
+  [[nodiscard]] std::uint64_t wire_bytes() const noexcept;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static PartialGraph deserialize(
+      const std::vector<std::uint8_t>& bytes);
+};
+
+}  // namespace faultyrank

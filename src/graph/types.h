@@ -1,0 +1,68 @@
+// Shared vocabulary types for the metadata graph.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace faultyrank {
+
+/// Dense graph vertex id after FID→GID remapping (0 … N-1).
+using Gid = std::uint32_t;
+inline constexpr Gid kInvalidGid = std::numeric_limits<Gid>::max();
+
+/// What kind of PFS object a graph vertex stands for.
+enum class ObjectKind : std::uint8_t {
+  kDirectory = 0,   ///< MDT directory
+  kFile = 1,        ///< MDT regular file
+  kStripeObject = 2,///< OST data object (one stripe of a file)
+  kPhantom = 3,     ///< referenced by some edge but never scanned
+  kOther = 4,       ///< benchmark graphs with no PFS semantics
+};
+
+[[nodiscard]] constexpr const char* to_string(ObjectKind kind) noexcept {
+  switch (kind) {
+    case ObjectKind::kDirectory: return "dir";
+    case ObjectKind::kFile: return "file";
+    case ObjectKind::kStripeObject: return "stripe";
+    case ObjectKind::kPhantom: return "phantom";
+    case ObjectKind::kOther: return "other";
+  }
+  return "?";
+}
+
+/// Which metadata property an edge was extracted from (Fig. 1 of the
+/// paper). Every healthy edge has a paired counterpart of the matching
+/// kind in the opposite direction.
+enum class EdgeKind : std::uint8_t {
+  kDirent = 0,      ///< directory → child (DIRENT entry)
+  kLinkEa = 1,      ///< child → parent directory (LinkEA)
+  kLovEa = 2,       ///< file → stripe object (LOVEA layout entry)
+  kObjParent = 3,   ///< stripe object → owning file (OST-side LinkEA)
+  kGeneric = 4,     ///< benchmark graphs with no PFS semantics
+};
+
+[[nodiscard]] constexpr const char* to_string(EdgeKind kind) noexcept {
+  switch (kind) {
+    case EdgeKind::kDirent: return "DIRENT";
+    case EdgeKind::kLinkEa: return "LinkEA";
+    case EdgeKind::kLovEa: return "LOVEA";
+    case EdgeKind::kObjParent: return "ObjLinkEA";
+    case EdgeKind::kGeneric: return "edge";
+  }
+  return "?";
+}
+
+/// The paired counterpart kind: a DIRENT entry should be answered by a
+/// LinkEA, a LOVEA entry by an OST-side parent link, and vice versa.
+[[nodiscard]] constexpr EdgeKind paired_kind(EdgeKind kind) noexcept {
+  switch (kind) {
+    case EdgeKind::kDirent: return EdgeKind::kLinkEa;
+    case EdgeKind::kLinkEa: return EdgeKind::kDirent;
+    case EdgeKind::kLovEa: return EdgeKind::kObjParent;
+    case EdgeKind::kObjParent: return EdgeKind::kLovEa;
+    case EdgeKind::kGeneric: return EdgeKind::kGeneric;
+  }
+  return EdgeKind::kGeneric;
+}
+
+}  // namespace faultyrank

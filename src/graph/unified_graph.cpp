@@ -1,0 +1,82 @@
+#include "graph/unified_graph.h"
+
+namespace faultyrank {
+
+UnifiedGraph UnifiedGraph::aggregate(std::span<const PartialGraph> partials) {
+  UnifiedGraph g;
+  std::size_t total_vertices = 0;
+  for (const auto& partial : partials) total_vertices += partial.vertices.size();
+  g.vertices_.reserve(total_vertices);
+  // Pass 1: intern every scanned object so GIDs for real objects come
+  // before phantoms (not required for correctness, but keeps dumps tidy
+  // and deterministic).
+  for (const auto& partial : partials) {
+    for (const auto& vertex : partial.vertices) {
+      g.vertices_.intern_scanned(vertex.fid, vertex.kind);
+    }
+  }
+  // Pass 2: remap edges; unknown endpoints become phantoms.
+  std::vector<GidEdge> edges;
+  std::size_t total_edges = 0;
+  for (const auto& partial : partials) total_edges += partial.edges.size();
+  edges.reserve(total_edges);
+  for (const auto& partial : partials) {
+    for (const auto& e : partial.edges) {
+      const Gid src = g.vertices_.intern_referenced(e.src);
+      const Gid dst = g.vertices_.intern_referenced(e.dst);
+      edges.push_back({src, dst, e.kind});
+    }
+  }
+  g.finalize(std::move(edges));
+  return g;
+}
+
+UnifiedGraph UnifiedGraph::from_edges(std::size_t vertex_count,
+                                      std::span<const GidEdge> edges) {
+  UnifiedGraph g;
+  g.vertices_.reserve(vertex_count);
+  for (std::size_t v = 0; v < vertex_count; ++v) {
+    // Synthesize FIDs so bench graphs flow through the same machinery.
+    g.vertices_.intern_scanned(
+        Fid{/*seq=*/1, /*oid=*/static_cast<std::uint32_t>(v), /*ver=*/0},
+        ObjectKind::kOther);
+  }
+  g.finalize(std::vector<GidEdge>(edges.begin(), edges.end()));
+  return g;
+}
+
+void UnifiedGraph::finalize(std::vector<GidEdge> edges) {
+  forward_ = Csr::build(vertices_.size(), edges);
+  reverse_ = forward_.reversed();
+
+  const std::size_t n = vertices_.size();
+  forward_paired_.assign(forward_.edge_count(), 0);
+  in_paired_.assign(n, 0);
+  in_unpaired_.assign(n, 0);
+  unpaired_.clear();
+
+  for (Gid u = 0; u < n; ++u) {
+    for (auto slot = forward_.edges_begin(u); slot < forward_.edges_end(u);
+         ++slot) {
+      const Gid v = forward_.target(slot);
+      const bool is_paired = forward_.has_edge(v, u);
+      forward_paired_[slot] = is_paired ? 1 : 0;
+      if (is_paired) {
+        ++in_paired_[v];
+      } else {
+        ++in_unpaired_[v];
+        unpaired_.push_back({u, v, forward_.kind(slot)});
+      }
+    }
+  }
+}
+
+std::uint64_t UnifiedGraph::bytes() const {
+  return vertices_.bytes() + forward_.bytes() + reverse_.bytes() +
+         forward_paired_.capacity() +
+         in_paired_.capacity() * sizeof(std::uint32_t) +
+         in_unpaired_.capacity() * sizeof(std::uint32_t) +
+         unpaired_.capacity() * sizeof(UnpairedEdge);
+}
+
+}  // namespace faultyrank

@@ -1,0 +1,89 @@
+// The unified metadata graph (paper §III-A, §IV-B).
+//
+// Combines all partial graphs into one FID-keyed vertex set with dense
+// GIDs, forward + reversed CSR adjacency, and the paired-edge analysis
+// the FaultyRank algorithm and the detector both consume:
+//   * paired(slot)      — does the opposite-direction edge exist?
+//   * in-degree split   — paired vs unpaired in-edge counts per vertex,
+//                         from which the algorithm derives the weighted
+//                         reverse-graph out-degree W(v) for any
+//                         unpaired-edge weight (Fig. 4).
+//   * unpaired_edges()  — the S_chk seed: every edge lacking its
+//                         point-back counterpart.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/partial_graph.h"
+#include "graph/types.h"
+#include "graph/vertex_table.h"
+
+namespace faultyrank {
+
+/// One edge that lacks its opposite-direction counterpart.
+struct UnpairedEdge {
+  Gid src = 0;
+  Gid dst = 0;
+  EdgeKind kind = EdgeKind::kGeneric;
+
+  friend bool operator==(const UnpairedEdge&, const UnpairedEdge&) = default;
+};
+
+class UnifiedGraph {
+ public:
+  /// Merges partial graphs in the given order (deterministic GIDs).
+  /// FIDs referenced by edges but scanned on no server become phantom
+  /// vertices.
+  [[nodiscard]] static UnifiedGraph aggregate(
+      std::span<const PartialGraph> partials);
+
+  /// Builds directly from a dense edge list (benchmark graphs). All
+  /// vertices are considered scanned, kind kOther.
+  [[nodiscard]] static UnifiedGraph from_edges(std::size_t vertex_count,
+                                               std::span<const GidEdge> edges);
+
+  [[nodiscard]] std::size_t vertex_count() const {
+    return vertices_.size();
+  }
+  [[nodiscard]] std::uint64_t edge_count() const {
+    return forward_.edge_count();
+  }
+
+  [[nodiscard]] const VertexTable& vertices() const { return vertices_; }
+  [[nodiscard]] const Csr& forward() const { return forward_; }
+  [[nodiscard]] const Csr& reverse() const { return reverse_; }
+
+  /// Pairing flag for a forward edge slot.
+  [[nodiscard]] bool paired(std::uint64_t forward_slot) const {
+    return forward_paired_[forward_slot] != 0;
+  }
+
+  [[nodiscard]] std::uint32_t paired_in_degree(Gid v) const {
+    return in_paired_[v];
+  }
+  [[nodiscard]] std::uint32_t unpaired_in_degree(Gid v) const {
+    return in_unpaired_[v];
+  }
+
+  [[nodiscard]] const std::vector<UnpairedEdge>& unpaired_edges() const {
+    return unpaired_;
+  }
+
+  [[nodiscard]] std::uint64_t bytes() const;
+
+ private:
+  void finalize(std::vector<GidEdge> edges);
+
+  VertexTable vertices_;
+  Csr forward_;
+  Csr reverse_;
+  std::vector<std::uint8_t> forward_paired_;
+  std::vector<std::uint32_t> in_paired_;
+  std::vector<std::uint32_t> in_unpaired_;
+  std::vector<UnpairedEdge> unpaired_;
+};
+
+}  // namespace faultyrank

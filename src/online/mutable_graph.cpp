@@ -1,0 +1,90 @@
+#include "online/mutable_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace faultyrank {
+
+MutableMetadataGraph::VertexState& MutableMetadataGraph::state_or_throw(
+    const Fid& fid, const char* what) {
+  const auto it = index_.find(fid);
+  if (it == index_.end() || !slots_[it->second].live) {
+    throw std::invalid_argument(std::string(what) + ": unknown object " +
+                                fid.to_string());
+  }
+  return slots_[it->second];
+}
+
+void MutableMetadataGraph::upsert_vertex(const Fid& fid, ObjectKind kind) {
+  if (const auto it = index_.find(fid); it != index_.end()) {
+    VertexState& state = slots_[it->second];
+    if (!state.live) {
+      state.live = true;
+      state.out.clear();
+      ++live_vertices_;
+    }
+    state.kind = kind;
+    return;
+  }
+  index_.emplace(fid, slots_.size());
+  slots_.push_back({fid, kind, /*live=*/true, {}});
+  ++live_vertices_;
+}
+
+bool MutableMetadataGraph::remove_vertex(const Fid& fid) {
+  const auto it = index_.find(fid);
+  if (it == index_.end() || !slots_[it->second].live) return false;
+  VertexState& state = slots_[it->second];
+  edge_count_ -= state.out.size();
+  state.out.clear();
+  state.live = false;
+  --live_vertices_;
+  return true;
+}
+
+void MutableMetadataGraph::add_edge(const Fid& src, const Fid& dst,
+                                    EdgeKind kind) {
+  VertexState& state = state_or_throw(src, "add_edge");
+  state.out.emplace_back(dst, kind);
+  ++edge_count_;
+}
+
+bool MutableMetadataGraph::remove_edge(const Fid& src, const Fid& dst,
+                                       EdgeKind kind) {
+  const auto it = index_.find(src);
+  if (it == index_.end() || !slots_[it->second].live) return false;
+  auto& out = slots_[it->second].out;
+  const auto pos = std::find(out.begin(), out.end(), std::pair(dst, kind));
+  if (pos == out.end()) return false;
+  out.erase(pos);
+  --edge_count_;
+  return true;
+}
+
+void MutableMetadataGraph::replace_object(
+    const Fid& fid, ObjectKind kind,
+    std::vector<std::pair<Fid, EdgeKind>> out_edges) {
+  upsert_vertex(fid, kind);
+  VertexState& state = slots_[index_.at(fid)];
+  edge_count_ -= state.out.size();
+  state.out = std::move(out_edges);
+  edge_count_ += state.out.size();
+}
+
+UnifiedGraph MutableMetadataGraph::freeze() const {
+  PartialGraph partial;
+  partial.server = "online";
+  partial.vertices.reserve(live_vertices_);
+  partial.edges.reserve(edge_count_);
+  for (const VertexState& state : slots_) {
+    if (!state.live) continue;
+    partial.add_vertex(state.fid, state.kind);
+    for (const auto& [dst, kind] : state.out) {
+      partial.add_edge(state.fid, dst, kind);
+    }
+  }
+  const PartialGraph partials[] = {partial};
+  return UnifiedGraph::aggregate(partials);
+}
+
+}  // namespace faultyrank

@@ -1,0 +1,225 @@
+#include "online/online_checker.h"
+
+#include "common/timer.h"
+
+namespace faultyrank {
+
+namespace {
+
+/// Extracts the out-edges a scanner would emit for this inode.
+std::vector<std::pair<Fid, EdgeKind>> edges_of(const Inode& inode) {
+  std::vector<std::pair<Fid, EdgeKind>> out;
+  switch (inode.type) {
+    case InodeType::kDirectory:
+      for (const auto& entry : inode.dirents) {
+        out.emplace_back(entry.fid, EdgeKind::kDirent);
+      }
+      for (const auto& link : inode.link_ea) {
+        out.emplace_back(link.parent, EdgeKind::kLinkEa);
+      }
+      break;
+    case InodeType::kRegular:
+      for (const auto& link : inode.link_ea) {
+        out.emplace_back(link.parent, EdgeKind::kLinkEa);
+      }
+      if (inode.lov_ea.has_value()) {
+        for (const auto& slot : inode.lov_ea->stripes) {
+          out.emplace_back(slot.stripe, EdgeKind::kLovEa);
+        }
+      }
+      break;
+    case InodeType::kOstObject:
+      if (inode.filter_fid.has_value()) {
+        out.emplace_back(inode.filter_fid->parent, EdgeKind::kObjParent);
+      }
+      break;
+  }
+  return out;
+}
+
+ObjectKind kind_of(const Inode& inode) {
+  switch (inode.type) {
+    case InodeType::kDirectory: return ObjectKind::kDirectory;
+    case InodeType::kRegular: return ObjectKind::kFile;
+    case InodeType::kOstObject: return ObjectKind::kStripeObject;
+  }
+  return ObjectKind::kPhantom;
+}
+
+}  // namespace
+
+OnlineChecker::OnlineChecker(LustreCluster& cluster,
+                             OnlineCheckerConfig config)
+    : cluster_(cluster), config_(config) {}
+
+void OnlineChecker::bootstrap() {
+  graph_ = MutableMetadataGraph();
+  last_seen_.assign(server_count(), {});
+  for (std::size_t server = 0; server < server_count(); ++server) {
+    const LdiskfsImage& image = image_of(server);
+    auto& seen = last_seen_[server];
+    seen.assign(image.inode_slots(), kNullFid);
+    image.for_each_inode([&](const Inode& inode) {
+      graph_.replace_object(inode.lma_fid, kind_of(inode), edges_of(inode));
+      seen[inode.ino - 1] = inode.lma_fid;
+    });
+  }
+  if (cluster_.changelog() != nullptr) {
+    cursor_ = cluster_.changelog()->next_index();
+  }
+  scrub_server_ = 0;
+  scrub_ino_ = 1;
+}
+
+void OnlineChecker::apply(const ChangeRecord& record) {
+  switch (record.op) {
+    case ChangeOp::kMkdir:
+      graph_.upsert_vertex(record.target, ObjectKind::kDirectory);
+      graph_.add_edge(record.target, record.parent, EdgeKind::kLinkEa);
+      graph_.add_edge(record.parent, record.target, EdgeKind::kDirent);
+      break;
+    case ChangeOp::kCreateFile:
+      graph_.upsert_vertex(record.target, ObjectKind::kFile);
+      graph_.add_edge(record.target, record.parent, EdgeKind::kLinkEa);
+      graph_.add_edge(record.parent, record.target, EdgeKind::kDirent);
+      for (const LovEaEntry& slot : record.stripes) {
+        graph_.upsert_vertex(slot.stripe, ObjectKind::kStripeObject);
+        graph_.add_edge(record.target, slot.stripe, EdgeKind::kLovEa);
+        graph_.add_edge(slot.stripe, record.target, EdgeKind::kObjParent);
+      }
+      break;
+    case ChangeOp::kHardLink:
+      graph_.add_edge(record.parent, record.target, EdgeKind::kDirent);
+      graph_.add_edge(record.target, record.parent, EdgeKind::kLinkEa);
+      break;
+    case ChangeOp::kUnlink:
+      graph_.remove_edge(record.parent, record.target, EdgeKind::kDirent);
+      if (!record.removes_object) {
+        // One name of a hard-linked file went away; the object and its
+        // other links survive.
+        graph_.remove_edge(record.target, record.parent, EdgeKind::kLinkEa);
+        break;
+      }
+      for (const LovEaEntry& slot : record.stripes) {
+        graph_.remove_vertex(slot.stripe);
+      }
+      graph_.remove_vertex(record.target);
+      break;
+  }
+}
+
+std::size_t OnlineChecker::catch_up() {
+  const ChangeLog* log = cluster_.changelog();
+  if (log == nullptr) return 0;
+  const auto records = log->read_from(cursor_);
+  for (const ChangeRecord& record : records) {
+    apply(record);
+    cursor_ = record.index + 1;
+  }
+  return records.size();
+}
+
+bool OnlineChecker::scrub_slot(std::size_t server, std::uint64_t ino) {
+  const LdiskfsImage& image = image_of(server);
+  auto& seen = last_seen_[server];
+  if (seen.size() < image.inode_slots()) {
+    seen.resize(image.inode_slots(), kNullFid);
+  }
+  const Inode* inode = image.find(ino);
+  const Fid previous = seen[ino - 1];
+  if (inode == nullptr) {
+    // Slot is free now; drop whatever we believed lived here.
+    if (!previous.is_null()) {
+      graph_.remove_vertex(previous);
+      seen[ino - 1] = kNullFid;
+    }
+    return false;
+  }
+  if (!previous.is_null() && previous != inode->lma_fid) {
+    // The id changed under us (corruption or repair): retire the stale
+    // identity so the new one stands alone.
+    graph_.remove_vertex(previous);
+  }
+  graph_.replace_object(inode->lma_fid, kind_of(*inode), edges_of(*inode));
+  seen[ino - 1] = inode->lma_fid;
+  return true;
+}
+
+std::size_t OnlineChecker::scrub_step() {
+  std::size_t refreshed = 0;
+  std::size_t visited = 0;
+  const std::size_t servers = server_count();
+  // Budget counts slots visited, so a step's cost is bounded even over
+  // sparsely-used tables.
+  while (visited < config_.scrub_batch) {
+    const LdiskfsImage& image = image_of(scrub_server_);
+    if (scrub_ino_ > image.inode_slots()) {
+      scrub_server_ = (scrub_server_ + 1) % servers;
+      scrub_ino_ = 1;
+      ++visited;  // guard against empty images spinning forever
+      continue;
+    }
+    refreshed += scrub_slot(scrub_server_, scrub_ino_) ? 1 : 0;
+    ++scrub_ino_;
+    ++visited;
+  }
+  return refreshed;
+}
+
+void OnlineChecker::full_scrub() {
+  for (std::size_t server = 0; server < server_count(); ++server) {
+    const std::uint64_t slots = image_of(server).inode_slots();
+    for (std::uint64_t ino = 1; ino <= slots; ++ino) {
+      scrub_slot(server, ino);
+    }
+  }
+}
+
+OnlineCheckResult OnlineChecker::check() {
+  OnlineCheckResult result;
+  WallTimer freeze_timer;
+  const UnifiedGraph snapshot = graph_.freeze();
+  result.freeze_wall_seconds = freeze_timer.seconds();
+
+  WallTimer rank_timer;
+  FaultyRankConfig rank_config = config_.rank;
+  std::vector<double> warm_id;
+  std::vector<double> warm_prop;
+  if (config_.warm_start && !last_ranks_.empty()) {
+    const std::size_t n = snapshot.vertex_count();
+    warm_id.assign(n, rank_config.initial_rank);
+    warm_prop.assign(n, rank_config.initial_rank);
+    for (Gid v = 0; v < n; ++v) {
+      const auto it = last_ranks_.find(snapshot.vertices().fid_of(v));
+      if (it != last_ranks_.end()) {
+        warm_id[v] = it->second.first;
+        warm_prop[v] = it->second.second;
+      }
+    }
+    rank_config.initial_id_ranks = &warm_id;
+    rank_config.initial_prop_ranks = &warm_prop;
+  }
+  result.ranks = run_faultyrank(snapshot, rank_config);
+  if (config_.warm_start) {
+    last_ranks_.clear();
+    last_ranks_.reserve(snapshot.vertex_count());
+    for (Gid v = 0; v < snapshot.vertex_count(); ++v) {
+      last_ranks_.emplace(snapshot.vertices().fid_of(v),
+                          std::pair(result.ranks.id_rank[v],
+                                    result.ranks.prop_rank[v]));
+    }
+  }
+  DetectorConfig detector_config;
+  detector_config.threshold = config_.detection_threshold;
+  detector_config.root = cluster_.root();
+  result.report =
+      detect_inconsistencies(snapshot, result.ranks, detector_config);
+  result.rank_wall_seconds = rank_timer.seconds();
+
+  result.vertices = snapshot.vertex_count();
+  result.edges = snapshot.edge_count();
+  result.unpaired_edges = snapshot.unpaired_edges().size();
+  return result;
+}
+
+}  // namespace faultyrank

@@ -1,0 +1,117 @@
+// Online FaultyRank (the paper's §VI/§VIII future work, implemented).
+//
+// The offline prototype must unmount the filesystem and rescan every
+// server per check. The online checker removes both costs:
+//
+//   1. bootstrap()  — one full raw scan seeds the mutable metadata
+//                     graph and positions the changelog cursor. Done
+//                     once, ideally at mount time.
+//   2. catch_up()   — consumes new changelog records; logical namespace
+//                     churn (mkdir/create/unlink) updates the graph in
+//                     place, no rescan.
+//   3. scrub_step() — raw corruption never reaches the changelog, so a
+//                     background scrubber re-reads a small batch of
+//                     inodes per step, round-robin over every server,
+//                     refreshing their graph entries. A corrupted EA
+//                     becomes visible to the next check as soon as its
+//                     inode is scrubbed.
+//   4. check()      — freezes the graph and runs the FaultyRank
+//                     iterations + detector on the snapshot, entirely
+//                     in DRAM, while the filesystem stays mounted.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/faultyrank.h"
+#include "online/mutable_graph.h"
+#include "pfs/cluster.h"
+
+namespace faultyrank {
+
+struct OnlineCheckerConfig {
+  FaultyRankConfig rank;
+  /// Mean-normalized conviction threshold (see DetectorConfig).
+  double detection_threshold = 0.4;
+  /// Inodes re-read per scrub_step().
+  std::size_t scrub_batch = 64;
+  /// Seed each check's iteration with the previous check's converged
+  /// ranks (new vertices start at the uniform value): the fixpoint of a
+  /// slightly-changed graph is close, so iterations drop.
+  bool warm_start = true;
+};
+
+struct OnlineCheckResult {
+  FaultyRankResult ranks;
+  DetectionReport report;
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t unpaired_edges = 0;
+  double freeze_wall_seconds = 0.0;
+  double rank_wall_seconds = 0.0;
+};
+
+class OnlineChecker {
+ public:
+  /// The cluster must have a changelog attached before any mutations
+  /// the checker is expected to track.
+  explicit OnlineChecker(LustreCluster& cluster,
+                         OnlineCheckerConfig config = {});
+
+  /// Full raw scan of every server into the mutable graph; positions
+  /// the changelog cursor at the log's current end.
+  void bootstrap();
+
+  /// Applies every changelog record since the last call (or since
+  /// bootstrap). Returns how many records were applied.
+  std::size_t catch_up();
+
+  /// Re-scans the next `scrub_batch` raw inode slots (round-robin over
+  /// MDT and OSTs), refreshing their graph entries. Returns the number
+  /// of live inodes refreshed.
+  std::size_t scrub_step();
+
+  /// Convenience: scrub until every inode slot has been visited once.
+  void full_scrub();
+
+  /// Freeze + rank + detect on the current graph.
+  [[nodiscard]] OnlineCheckResult check();
+
+  [[nodiscard]] const MutableMetadataGraph& graph() const { return graph_; }
+  [[nodiscard]] std::uint64_t changelog_cursor() const noexcept {
+    return cursor_;
+  }
+
+ private:
+  void apply(const ChangeRecord& record);
+  /// Refreshes one raw inode slot on server `server` (MDTs first, then
+  /// OSTs). Returns true if a live inode was refreshed.
+  bool scrub_slot(std::size_t server, std::uint64_t ino);
+  [[nodiscard]] std::size_t server_count() const {
+    return cluster_.mdt_count() + cluster_.osts().size();
+  }
+  [[nodiscard]] const LdiskfsImage& image_of(std::size_t server) const {
+    return server < cluster_.mdt_count()
+               ? cluster_.mdt_server(server).image
+               : cluster_.osts()[server - cluster_.mdt_count()].image;
+  }
+
+  LustreCluster& cluster_;
+  OnlineCheckerConfig config_;
+  MutableMetadataGraph graph_;
+  std::uint64_t cursor_ = 0;
+
+  // Scrub state: a moving (server, ino) position plus the fid each slot
+  // carried when last read, so id corruption shows up as
+  // remove-old + insert-new.
+  std::size_t scrub_server_ = 0;
+  std::uint64_t scrub_ino_ = 1;
+  std::vector<std::vector<Fid>> last_seen_;  // [server][ino-1]
+
+  // Previous check's converged ranks, keyed by FID, for warm starts.
+  std::unordered_map<Fid, std::pair<double, double>, FidHash> last_ranks_;
+};
+
+}  // namespace faultyrank

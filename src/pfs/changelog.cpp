@@ -1,0 +1,13 @@
+#include "pfs/changelog.h"
+
+#include <algorithm>
+
+namespace faultyrank {
+
+void ChangeLog::purge_below(std::uint64_t cursor) {
+  std::erase_if(records_, [cursor](const ChangeRecord& record) {
+    return record.index < cursor;
+  });
+}
+
+}  // namespace faultyrank

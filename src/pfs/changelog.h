@@ -1,0 +1,85 @@
+// A Lustre ChangeLog work-alike.
+//
+// Real Lustre can record every namespace-mutating operation in a
+// consumable log; the paper's planned *online* FaultyRank (§VI / §VIII)
+// depends on exactly this: instead of unmounting and rescanning, an
+// incremental graph builder consumes changelog records and keeps the
+// metadata graph current. Records carry everything a scanner would have
+// extracted for the affected objects, so applying a record updates the
+// graph the same way a rescan of those inodes would.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fid.h"
+#include "pfs/ea.h"
+#include "pfs/inode.h"
+
+namespace faultyrank {
+
+enum class ChangeOp : std::uint8_t {
+  kMkdir = 0,
+  kCreateFile = 1,
+  kUnlink = 2,
+  kHardLink = 3,
+};
+
+[[nodiscard]] constexpr const char* to_string(ChangeOp op) noexcept {
+  switch (op) {
+    case ChangeOp::kMkdir: return "mkdir";
+    case ChangeOp::kCreateFile: return "create";
+    case ChangeOp::kUnlink: return "unlink";
+    case ChangeOp::kHardLink: return "hardlink";
+  }
+  return "?";
+}
+
+struct ChangeRecord {
+  std::uint64_t index = 0;  ///< monotonically increasing sequence number
+  ChangeOp op = ChangeOp::kMkdir;
+  Fid target;               ///< object created / removed
+  Fid parent;               ///< directory it was linked under
+  std::string name;
+  InodeType type = InodeType::kDirectory;
+  /// kCreateFile: the allocated stripe objects, in layout order.
+  /// kUnlink of a file: the stripe objects that were freed.
+  std::vector<LovEaEntry> stripes;
+  /// kUnlink: false when only one name of a hard-linked file went away
+  /// and the object itself survives.
+  bool removes_object = true;
+};
+
+/// Append-only operation log with cursor-based consumption.
+class ChangeLog {
+ public:
+  void append(ChangeRecord record) {
+    record.index = next_index_++;
+    records_.push_back(std::move(record));
+  }
+
+  /// Every record with index >= cursor, in order.
+  [[nodiscard]] std::vector<ChangeRecord> read_from(
+      std::uint64_t cursor) const {
+    std::vector<ChangeRecord> out;
+    for (const auto& record : records_) {
+      if (record.index >= cursor) out.push_back(record);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::uint64_t next_index() const noexcept {
+    return next_index_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  /// Drops records below `cursor` (a consumer acknowledged them).
+  void purge_below(std::uint64_t cursor);
+
+ private:
+  std::vector<ChangeRecord> records_;
+  std::uint64_t next_index_ = 0;
+};
+
+}  // namespace faultyrank

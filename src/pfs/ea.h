@@ -1,0 +1,64 @@
+// Extended-attribute payloads (paper Fig. 1).
+//
+// Lustre embeds its cluster-level metadata into the extended attributes
+// of local ldiskfs inodes:
+//   * LMA       — the object's own FID,
+//   * LinkEA    — (parent FID, name) back-pointers on MDT objects,
+//   * LOVEA     — the striping layout: which OST objects hold the file,
+//   * filter_fid— the OST-side back-pointer to the owning MDT file.
+// Directory entries (DIRENT) live in directory data blocks and carry
+// both the child's local inode number and its FID.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fid.h"
+
+namespace faultyrank {
+
+/// One LinkEA record: this object is linked from `parent` under `name`.
+struct LinkEaEntry {
+  Fid parent;
+  std::string name;
+
+  friend bool operator==(const LinkEaEntry&, const LinkEaEntry&) = default;
+};
+
+/// One stripe slot in a LOVEA layout.
+struct LovEaEntry {
+  Fid stripe;          ///< FID of the OST object holding this stripe
+  std::uint32_t ost_index = 0;  ///< which OST stores it
+
+  friend bool operator==(const LovEaEntry&, const LovEaEntry&) = default;
+};
+
+/// LOVEA: the data-layout metadata of a regular file.
+struct LovEa {
+  std::uint32_t stripe_size = 1u << 20;  ///< bytes per stripe chunk
+  std::int32_t stripe_count = 1;         ///< -1 = stripe over all OSTs
+  std::vector<LovEaEntry> stripes;       ///< allocated OST objects, in order
+
+  friend bool operator==(const LovEa&, const LovEa&) = default;
+};
+
+/// OST-object back-pointer ("filter fid"): which file and stripe slot
+/// this data object belongs to.
+struct FilterFid {
+  Fid parent;                      ///< owning MDT file
+  std::uint32_t stripe_index = 0;  ///< slot within the file's layout
+
+  friend bool operator==(const FilterFid&, const FilterFid&) = default;
+};
+
+/// One directory entry, extended Lustre-style with the child's FID.
+struct DirentEntry {
+  std::string name;
+  Fid fid;                 ///< child's cluster FID
+  std::uint64_t ino = 0;   ///< child's local inode number (MDT-local)
+
+  friend bool operator==(const DirentEntry&, const DirentEntry&) = default;
+};
+
+}  // namespace faultyrank

@@ -1,0 +1,148 @@
+#include "pfs/persistence.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/serdes.h"
+
+namespace faultyrank {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x46524c43;  // "FRLC"
+constexpr std::uint32_t kVersion = 2;         // v2: multiple MDTs (DNE)
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void put_fid(ByteWriter& w, const Fid& fid) {
+  w.put(fid.seq);
+  w.put(fid.oid);
+  w.put(fid.ver);
+}
+
+Fid get_fid(ByteReader& r) {
+  Fid fid;
+  fid.seq = r.get<std::uint64_t>();
+  fid.oid = r.get<std::uint32_t>();
+  fid.ver = r.get<std::uint32_t>();
+  return fid;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_cluster(const LustreCluster& cluster) {
+  ByteWriter w;
+  w.put(kMagic);
+  w.put(kVersion);
+  w.put(cluster.policy_.stripe_size);
+  w.put(cluster.policy_.stripe_count);
+  w.put(cluster.next_ost_);
+  w.put(cluster.next_mdt_);
+  put_fid(w, cluster.lost_found_fid_);
+
+  // MDTs: allocator cursors, roots, images.
+  w.put(static_cast<std::uint32_t>(cluster.mdts_.size()));
+  for (const auto& mdt : cluster.mdts_) {
+    w.put(mdt->index);
+    w.put(mdt->fids.seq());
+    w.put(mdt->fids.allocated());
+    put_fid(w, mdt->root_fid);
+    mdt->image.serialize(w);
+  }
+
+  w.put(static_cast<std::uint32_t>(cluster.osts_.size()));
+  for (const OstServer& ost : cluster.osts_) {
+    w.put(ost.index);
+    w.put(ost.fids.seq());
+    w.put(ost.fids.allocated());
+    ost.image.serialize(w);
+  }
+
+  return w.take();
+}
+
+LustreCluster deserialize_cluster(const std::vector<std::uint8_t>& bytes) {
+  try {
+    ByteReader r(bytes);
+    if (r.get<std::uint32_t>() != kMagic) {
+      throw PersistenceError("not a cluster snapshot");
+    }
+    if (r.get<std::uint32_t>() != kVersion) {
+      throw PersistenceError("unsupported snapshot version");
+    }
+
+    LustreCluster cluster;
+    cluster.policy_.stripe_size = r.get<std::uint32_t>();
+    cluster.policy_.stripe_count = r.get<std::int32_t>();
+    cluster.next_ost_ = r.get<std::uint64_t>();
+    cluster.next_mdt_ = r.get<std::uint64_t>();
+    cluster.lost_found_fid_ = get_fid(r);
+
+    const auto mdt_count = r.get<std::uint32_t>();
+    cluster.mdts_.reserve(mdt_count);
+    for (std::uint32_t i = 0; i < mdt_count; ++i) {
+      const auto index = r.get<std::uint32_t>();
+      const auto seq = r.get<std::uint64_t>();
+      const auto allocated = r.get<std::uint32_t>();
+      const Fid root = get_fid(r);
+      LdiskfsImage image = LdiskfsImage::deserialize(r);
+      auto mdt = std::make_unique<MdtServer>(image.label(), index);
+      mdt->image = std::move(image);
+      mdt->fids = FidAllocator(seq, allocated);
+      mdt->root_fid = root;
+      cluster.mdts_.push_back(std::move(mdt));
+    }
+
+    const auto ost_count = r.get<std::uint32_t>();
+    cluster.osts_.reserve(ost_count);
+    for (std::uint32_t i = 0; i < ost_count; ++i) {
+      const auto index = r.get<std::uint32_t>();
+      const auto seq = r.get<std::uint64_t>();
+      const auto allocated = r.get<std::uint32_t>();
+      LdiskfsImage image = LdiskfsImage::deserialize(r);
+      OstServer ost(image.label(), index);
+      ost.image = std::move(image);
+      ost.fids = FidAllocator(seq, allocated);
+      cluster.osts_.push_back(std::move(ost));
+    }
+    if (!r.exhausted()) {
+      throw PersistenceError("trailing bytes in snapshot");
+    }
+    return cluster;
+  } catch (const SerdesError& error) {
+    throw PersistenceError(std::string("corrupt snapshot: ") + error.what());
+  }
+}
+
+void save_cluster(const LustreCluster& cluster, const std::string& path) {
+  const std::vector<std::uint8_t> bytes = serialize_cluster(cluster);
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw PersistenceError("cannot open for write: " + path);
+  if (std::fwrite(bytes.data(), 1, bytes.size(), f.get()) != bytes.size()) {
+    throw PersistenceError("short write: " + path);
+  }
+}
+
+LustreCluster load_cluster(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw PersistenceError("cannot open for read: " + path);
+  std::fseek(f.get(), 0, SEEK_END);
+  const long size = std::ftell(f.get());
+  std::fseek(f.get(), 0, SEEK_SET);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (std::fread(bytes.data(), 1, bytes.size(), f.get()) != bytes.size()) {
+    throw PersistenceError("short read: " + path);
+  }
+  try {
+    return deserialize_cluster(bytes);
+  } catch (const PersistenceError& error) {
+    throw PersistenceError(std::string(error.what()) + " (" + path + ")");
+  }
+}
+
+}  // namespace faultyrank

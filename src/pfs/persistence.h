@@ -1,0 +1,37 @@
+// Cluster image persistence.
+//
+// A real offline checker runs against unmounted on-disk images; this
+// module gives the simulated cluster the same lifecycle: dump every
+// server image to a binary snapshot ("unmount"), load it back later
+// ("attach"), and run scanners/checkers against the loaded copy.
+// Snapshots round-trip every EA field bit-exactly, including corrupted
+// ones — snapshotting a broken cluster preserves the breakage.
+#pragma once
+
+#include <string>
+
+#include "pfs/cluster.h"
+
+namespace faultyrank {
+
+class PersistenceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serializes the full cluster state (every MDT and OST image, FID
+/// allocator cursors, stripe policy) into a byte buffer.
+[[nodiscard]] std::vector<std::uint8_t> serialize_cluster(
+    const LustreCluster& cluster);
+
+/// Reconstructs a cluster from serialize_cluster output.
+[[nodiscard]] LustreCluster deserialize_cluster(
+    const std::vector<std::uint8_t>& bytes);
+
+/// Writes the full cluster state to `path`.
+void save_cluster(const LustreCluster& cluster, const std::string& path);
+
+/// Loads a snapshot written by save_cluster.
+[[nodiscard]] LustreCluster load_cluster(const std::string& path);
+
+}  // namespace faultyrank

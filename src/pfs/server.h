@@ -1,0 +1,72 @@
+// Server containers: one MDT and N OSTs, each wrapping an ldiskfs image
+// plus a FID sequence allocator. Sequence ranges are disjoint per
+// server so FIDs are cluster-unique (paper §IV-A: "Lustre already
+// assigns unique FIDs to these objects").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/fid.h"
+#include "pfs/ldiskfs.h"
+
+namespace faultyrank {
+
+/// Hands out FIDs from a server-owned sequence.
+class FidAllocator {
+ public:
+  explicit FidAllocator(std::uint64_t seq) : seq_(seq) {}
+
+  /// Restores a persisted allocator cursor (see pfs/persistence.h).
+  FidAllocator(std::uint64_t seq, std::uint32_t allocated)
+      : seq_(seq), last_oid_(allocated) {}
+
+  [[nodiscard]] Fid next() { return Fid{seq_, ++last_oid_, 0}; }
+  [[nodiscard]] std::uint64_t seq() const noexcept { return seq_; }
+  [[nodiscard]] std::uint32_t allocated() const noexcept { return last_oid_; }
+
+ private:
+  std::uint64_t seq_;
+  std::uint32_t last_oid_ = 0;
+};
+
+/// Sequence layout: MDT i owns 0x200000400 + i; OST i owns
+/// 0x100010000 + i. Routing a FID to its home server is a sequence
+/// lookup, exactly as Lustre's FLDB does.
+inline constexpr std::uint64_t kMdtSeq = 0x200000400ULL;
+inline constexpr std::uint64_t kOstSeqBase = 0x100010000ULL;
+
+struct MdtServer {
+  explicit MdtServer(std::string name, std::uint32_t index = 0)
+      : image(std::move(name)), fids(kMdtSeq + index), index(index) {}
+
+  LdiskfsImage image;
+  FidAllocator fids;
+  Fid root_fid;  ///< set by the cluster when the root directory is made
+  std::uint32_t index = 0;
+};
+
+struct OstServer {
+  OstServer(std::string name, std::uint32_t index)
+      : image(std::move(name)), fids(kOstSeqBase + index), index(index) {}
+
+  /// Creates one stripe object owned by `parent` at `stripe_index`,
+  /// holding `size_bytes` of (simulated) stripe data. A checker that
+  /// re-creates a lost object can only make an empty one — the size is
+  /// how the evaluation tells lossless repair from data loss.
+  Fid create_object(const Fid& parent, std::uint32_t stripe_index,
+                    std::uint64_t size_bytes = 0) {
+    Inode& inode = image.allocate(InodeType::kOstObject);
+    inode.lma_fid = fids.next();
+    inode.filter_fid = FilterFid{parent, stripe_index};
+    inode.size_bytes = size_bytes;
+    image.oi_insert(inode.lma_fid, inode.ino);
+    return inode.lma_fid;
+  }
+
+  LdiskfsImage image;
+  FidAllocator fids;
+  std::uint32_t index;
+};
+
+}  // namespace faultyrank

@@ -1,0 +1,134 @@
+#include "scanner/scanner.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+
+namespace faultyrank {
+
+ScanResult scan_mdt(const MdtServer& mdt, const DiskModel& disk) {
+  WallTimer timer;
+  ScanResult result;
+  result.graph.server = mdt.image.label();
+  // Only MDT0 hosts the aggregator; partial graphs from other metadata
+  // servers (DNE) cross the wire like the OSS ones.
+  result.local_to_mds = mdt.index == 0;
+
+  std::uint64_t dirent_bytes = 0;
+  std::uint64_t external_ea_blocks = 0;
+  mdt.image.for_each_inode([&](const Inode& inode) {
+    ++result.inodes_scanned;
+    // Ext4 keeps ~100-200 B of EA space inline; a wide LOVEA or a
+    // multi-entry LinkEA spills to an external xattr block, which costs
+    // the scan one extra random read (directories are charged for
+    // their data-block excursion separately below).
+    if (inode.type != InodeType::kDirectory &&
+        (inode.link_ea.size() > 1 ||
+         (inode.lov_ea.has_value() && inode.lov_ea->stripes.size() > 2))) {
+      ++external_ea_blocks;
+    }
+    switch (inode.type) {
+      case InodeType::kDirectory: {
+        result.graph.add_vertex(inode.lma_fid, ObjectKind::kDirectory);
+        ++result.directories_visited;
+        // Reading DIRENT entries means leaving the inode table for the
+        // directory's data blocks — the one random excursion of the
+        // scan (paper §IV-A).
+        dirent_bytes += std::max<std::uint64_t>(inode.dirent_bytes(), 4096);
+        for (const auto& entry : inode.dirents) {
+          result.graph.add_edge(inode.lma_fid, entry.fid, EdgeKind::kDirent);
+        }
+        for (const auto& link : inode.link_ea) {
+          result.graph.add_edge(inode.lma_fid, link.parent, EdgeKind::kLinkEa);
+        }
+        break;
+      }
+      case InodeType::kRegular: {
+        result.graph.add_vertex(inode.lma_fid, ObjectKind::kFile);
+        for (const auto& link : inode.link_ea) {
+          result.graph.add_edge(inode.lma_fid, link.parent, EdgeKind::kLinkEa);
+        }
+        if (inode.lov_ea.has_value()) {
+          for (const auto& slot : inode.lov_ea->stripes) {
+            result.graph.add_edge(inode.lma_fid, slot.stripe,
+                                  EdgeKind::kLovEa);
+          }
+        }
+        break;
+      }
+      case InodeType::kOstObject:
+        // An OST object on the MDT would itself be corruption; surface
+        // it as a bare vertex so the graph sees an isolated object.
+        result.graph.add_vertex(inode.lma_fid, ObjectKind::kStripeObject);
+        break;
+    }
+  });
+
+  result.sim_seconds =
+      disk.sequential_read(mdt.image.inode_table_bytes()) +
+      disk.random_reads(result.directories_visited, 0) +
+      disk.random_reads(external_ea_blocks, 512) +
+      static_cast<double>(dirent_bytes) / disk.bandwidth_bytes_per_s;
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+ScanResult scan_ost(const OstServer& ost, const DiskModel& disk) {
+  WallTimer timer;
+  ScanResult result;
+  result.graph.server = ost.image.label();
+
+  ost.image.for_each_inode([&](const Inode& inode) {
+    ++result.inodes_scanned;
+    result.graph.add_vertex(inode.lma_fid, ObjectKind::kStripeObject);
+    if (inode.filter_fid.has_value()) {
+      result.graph.add_edge(inode.lma_fid, inode.filter_fid->parent,
+                            EdgeKind::kObjParent);
+    }
+  });
+
+  // OST scans are a pure inode-table stream: objects carry no DIRENTs.
+  result.sim_seconds = disk.sequential_read(ost.image.inode_table_bytes());
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+ClusterScan scan_cluster(const LustreCluster& cluster, ThreadPool* pool,
+                         const DiskModel& mdt_disk, const DiskModel& ost_disk) {
+  WallTimer timer;
+  ClusterScan scan;
+  const std::size_t mdt_count = cluster.mdt_count();
+  scan.results.resize(mdt_count + cluster.osts().size());
+
+  if (pool != nullptr && pool->size() > 1) {
+    for (std::size_t m = 0; m < mdt_count; ++m) {
+      pool->submit([&, m] {
+        scan.results[m] = scan_mdt(cluster.mdt_server(m), mdt_disk);
+      });
+    }
+    for (std::size_t i = 0; i < cluster.osts().size(); ++i) {
+      pool->submit([&, i, mdt_count] {
+        scan.results[mdt_count + i] = scan_ost(cluster.osts()[i], ost_disk);
+      });
+    }
+    pool->wait_idle();
+  } else {
+    for (std::size_t m = 0; m < mdt_count; ++m) {
+      scan.results[m] = scan_mdt(cluster.mdt_server(m), mdt_disk);
+    }
+    for (std::size_t i = 0; i < cluster.osts().size(); ++i) {
+      scan.results[mdt_count + i] = scan_ost(cluster.osts()[i], ost_disk);
+    }
+  }
+
+  for (const auto& result : scan.results) {
+    // Each server scans its own disks concurrently; the cluster-level
+    // virtual scan time is the slowest server.
+    scan.sim_seconds = std::max(scan.sim_seconds, result.sim_seconds);
+    scan.inodes_scanned += result.inodes_scanned;
+  }
+  scan.wall_seconds = timer.seconds();
+  return scan;
+}
+
+}  // namespace faultyrank

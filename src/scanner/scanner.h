@@ -1,0 +1,64 @@
+// Metadata scanners (paper §IV-A).
+//
+// One scanner per server walks the local image raw — inode table in
+// block-group order, descending into directory data blocks for DIRENT
+// entries — and emits a partial graph of FID-keyed vertices and edges:
+//
+//   MDT directory  → vertex(kDirectory); DIRENT edge per entry;
+//                    LinkEA edge per parent link
+//   MDT file       → vertex(kFile); LinkEA edges; LOVEA edge per stripe
+//   OST object     → vertex(kStripeObject); ObjLinkEA edge to its owner
+//
+// Scanners never consult the OI or resolve paths: they read exactly the
+// bytes a raw disk walk sees, so corrupted EAs flow into the graph
+// unfiltered — that is the whole point.
+//
+// Disk cost: one streaming read of the inode table plus one random read
+// per directory's entry blocks, charged to the server's DiskModel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/thread_pool.h"
+#include "graph/partial_graph.h"
+#include "pfs/cluster.h"
+
+namespace faultyrank {
+
+struct ScanResult {
+  PartialGraph graph;
+  bool local_to_mds = false;   ///< MDS partial graphs skip the network
+  double sim_seconds = 0.0;    ///< virtual disk time
+  double wall_seconds = 0.0;   ///< measured CPU time
+  std::uint64_t inodes_scanned = 0;
+  std::uint64_t directories_visited = 0;
+};
+
+/// Scans one MDT image (paper: the MDS holds namespace + layout
+/// metadata on a local SSD).
+[[nodiscard]] ScanResult scan_mdt(const MdtServer& mdt,
+                                  const DiskModel& disk = DiskModel::ssd());
+
+/// Scans one OST image (paper: OSTs are HDD-backed).
+[[nodiscard]] ScanResult scan_ost(const OstServer& ost,
+                                  const DiskModel& disk = DiskModel::hdd());
+
+struct ClusterScan {
+  std::vector<ScanResult> results;  ///< MDTs first (in index order), then OSTs
+  /// Virtual elapsed time: scanners run in parallel on their own
+  /// servers, so the cluster-level scan time is the slowest scanner.
+  double sim_seconds = 0.0;
+  double wall_seconds = 0.0;
+  std::uint64_t inodes_scanned = 0;
+};
+
+/// Runs every per-server scanner, on `pool` if provided (one task per
+/// server, mirroring the paper's concurrent scanners).
+[[nodiscard]] ClusterScan scan_cluster(const LustreCluster& cluster,
+                                       ThreadPool* pool = nullptr,
+                                       const DiskModel& mdt_disk = DiskModel::ssd(),
+                                       const DiskModel& ost_disk = DiskModel::hdd());
+
+}  // namespace faultyrank

@@ -1,0 +1,141 @@
+#include "workload/namespace_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace faultyrank {
+
+namespace {
+
+/// Standard-normal sample (Box–Muller).
+double sample_normal(Rng& rng) {
+  double u1 = rng.uniform();
+  if (u1 < 1e-12) u1 = 1e-12;
+  const double u2 = rng.uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+std::uint64_t sample_file_size(Rng& rng, const NamespaceConfig& config) {
+  const double log_size =
+      config.log_size_mu + config.log_size_sigma * sample_normal(rng);
+  const double size = std::exp(log_size);
+  // Clamp to sane bounds: 1 byte … 1 TB.
+  return static_cast<std::uint64_t>(
+      std::clamp(size, 1.0, 1024.0 * 1024 * 1024 * 1024));
+}
+
+struct DirSlot {
+  Fid fid;
+  std::uint32_t depth = 0;
+};
+
+}  // namespace
+
+NamespaceStats populate_namespace(LustreCluster& cluster,
+                                  const NamespaceConfig& config) {
+  NamespaceStats stats;
+  Rng rng(config.seed);
+
+  std::vector<DirSlot> dirs;
+  dirs.push_back({cluster.root(), 0});
+
+  // Unique-name counters survive across calls by keying on current
+  // inode usage, so repeated population rounds never collide.
+  std::uint64_t name_salt = cluster.mdt_inodes_used();
+
+  double dir_budget = 1.0;  // create dirs ahead of the first files
+  for (std::uint64_t i = 0; i < config.file_count; ++i) {
+    dir_budget += config.dir_ratio;
+    while (dir_budget >= 1.0) {
+      dir_budget -= 1.0;
+      // Attach the new directory to a random existing one (biased to
+      // recent dirs → depth grows like real project trees).
+      const std::size_t base =
+          dirs.size() > 8 && rng.chance(0.7) ? dirs.size() / 2 : 0;
+      const DirSlot parent =
+          dirs[base + rng.below(dirs.size() - base)];
+      if (parent.depth + 1 >= config.max_depth) continue;
+      const std::string name = "d" + std::to_string(name_salt++);
+      const Fid fid = cluster.mkdir(parent.fid, name);
+      dirs.push_back({fid, parent.depth + 1});
+      ++stats.directories;
+    }
+
+    const DirSlot& parent = dirs[rng.below(dirs.size())];
+    const std::uint64_t size = sample_file_size(rng, config);
+    const std::string name = "f" + std::to_string(name_salt++);
+    const Fid fid =
+        cluster.create_file(parent.fid, name, size, config.stripe);
+    ++stats.files;
+    stats.logical_bytes += size;
+    if (size < (1u << 20)) ++stats.files_under_1mb;
+    if (size < (2u << 20)) ++stats.files_under_2mb;
+    const Inode* inode = cluster.stat(fid);
+    stats.stripe_objects += inode->lov_ea->stripes.size();
+
+    if (rng.chance(config.hardlink_ratio)) {
+      const DirSlot& link_dir = dirs[rng.below(dirs.size())];
+      try {
+        cluster.link(fid, link_dir.fid, "l" + std::to_string(name_salt++));
+        ++stats.hard_links;
+      } catch (const ClusterError&) {
+        // name collision with an earlier round — skip
+      }
+    }
+  }
+  return stats;
+}
+
+AgingStats age_cluster(LustreCluster& cluster, const NamespaceConfig& config,
+                       std::uint32_t cycles, double churn_fraction) {
+  AgingStats stats;
+  Rng rng(config.seed ^ 0xa9e5ULL);
+
+  for (std::uint32_t cycle = 0; cycle < cycles; ++cycle) {
+    // Enumerate live files with their (parent, name) link.
+    struct Victim {
+      Fid parent;
+      std::string name;
+    };
+    std::vector<Victim> files;
+    std::vector<Fid> dirs;
+    for (std::size_t m = 0; m < cluster.mdt_count(); ++m) {
+      cluster.mdt_server(m).image.for_each_inode([&](const Inode& inode) {
+        if (inode.type == InodeType::kRegular && !inode.link_ea.empty()) {
+          files.push_back({inode.link_ea.front().parent,
+                           inode.link_ea.front().name});
+        } else if (inode.type == InodeType::kDirectory) {
+          dirs.push_back(inode.lma_fid);
+        }
+      });
+    }
+    if (files.empty() || dirs.empty()) break;
+
+    const auto to_delete = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(files.size()) * churn_fraction));
+    for (std::uint64_t k = 0; k < to_delete; ++k) {
+      const std::size_t pick = rng.below(files.size());
+      cluster.unlink(files[pick].parent, files[pick].name);
+      files[pick] = files.back();
+      files.pop_back();
+      ++stats.deleted;
+    }
+    for (std::uint64_t k = 0; k < to_delete; ++k) {
+      const Fid parent = dirs[rng.below(dirs.size())];
+      const std::string name =
+          "a" + std::to_string(cycle) + "_" + std::to_string(k);
+      try {
+        cluster.create_file(parent, name,
+                            sample_file_size(rng, config), config.stripe);
+        ++stats.created;
+      } catch (const ClusterError&) {
+        // Name collision with a survivor of a previous cycle: skip.
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace faultyrank

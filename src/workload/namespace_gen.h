@@ -1,0 +1,65 @@
+// LANL-like namespace synthesizer (substitution for the USRC "Archive
+// and NFS Metadata" trace — see DESIGN.md §1).
+//
+// Reproduces the aggregate shape the paper's evaluation depends on:
+//   * a multi-level directory tree (projects / users / nested dirs),
+//   * a log-normal file-size distribution calibrated to the published
+//     PFS statistics the paper cites (≈86 % of files < 1 MB, ≈95 %
+//     < 2 MB — Carns et al.),
+//   * the paper's striping setup: stripe_size 64 KB, stripe_count −1,
+//     so any file ≥ 512 KB spreads over all 8 OSTs and a smaller file
+//     creates ⌈size / 64 KB⌉ stripe objects.
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "pfs/cluster.h"
+
+namespace faultyrank {
+
+struct NamespaceConfig {
+  /// Regular files to create. Total MDS inodes ≈ files · (1 + dir_ratio).
+  std::uint64_t file_count = 10000;
+  /// Directories created per file (the tree grows as files arrive).
+  double dir_ratio = 0.12;
+  /// Maximum tree depth.
+  std::uint32_t max_depth = 10;
+  /// Log-normal size parameters (defaults calibrated to 86 % < 1 MB,
+  /// 95 % < 2 MB; median ≈ 280 KB).
+  double log_size_mu = 12.54;
+  double log_size_sigma = 1.22;
+  /// Striping applied to every created file (paper evaluation setup).
+  StripePolicy stripe{64 * 1024, -1};
+  /// Fraction of files that also receive a hard link from another
+  /// directory (archive trees deduplicate this way).
+  double hardlink_ratio = 0.01;
+  std::uint64_t seed = 0x1a171;
+};
+
+struct NamespaceStats {
+  std::uint64_t files = 0;
+  std::uint64_t hard_links = 0;
+  std::uint64_t directories = 0;
+  std::uint64_t stripe_objects = 0;
+  std::uint64_t logical_bytes = 0;
+  std::uint64_t files_under_1mb = 0;
+  std::uint64_t files_under_2mb = 0;
+};
+
+/// Populates `cluster` with a synthetic namespace; returns what was
+/// created. Deterministic in (config.seed, prior cluster state).
+NamespaceStats populate_namespace(LustreCluster& cluster,
+                                  const NamespaceConfig& config);
+
+/// Ages a populated cluster with delete/create churn: `cycles` rounds,
+/// each deleting `churn_fraction` of the files and re-creating as many.
+/// Fragments the inode tables the way a production file system ages.
+struct AgingStats {
+  std::uint64_t deleted = 0;
+  std::uint64_t created = 0;
+};
+AgingStats age_cluster(LustreCluster& cluster, const NamespaceConfig& config,
+                       std::uint32_t cycles, double churn_fraction);
+
+}  // namespace faultyrank

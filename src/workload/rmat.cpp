@@ -1,0 +1,50 @@
+#include "workload/rmat.h"
+
+#include <stdexcept>
+
+#include "common/random.h"
+
+namespace faultyrank {
+
+GeneratedGraph generate_rmat(const RmatConfig& config) {
+  if (config.scale == 0 || config.scale > 31) {
+    throw std::invalid_argument("rmat: scale must be in [1, 31]");
+  }
+  const double d = 1.0 - config.a - config.b - config.c;
+  if (config.a <= 0 || config.b < 0 || config.c < 0 || d < 0) {
+    throw std::invalid_argument("rmat: invalid quadrant probabilities");
+  }
+
+  GeneratedGraph graph;
+  graph.vertex_count = 1ULL << config.scale;
+  const std::uint64_t edge_count = graph.vertex_count * config.avg_degree;
+  graph.edges.reserve(edge_count);
+
+  Rng rng(config.seed);
+  const double ab = config.a + config.b;
+  const double abc = ab + config.c;
+  for (std::uint64_t i = 0; i < edge_count; ++i) {
+    std::uint64_t src = 0;
+    std::uint64_t dst = 0;
+    for (std::uint32_t level = 0; level < config.scale; ++level) {
+      const double roll = rng.uniform();
+      src <<= 1;
+      dst <<= 1;
+      if (roll < config.a) {
+        // top-left: no bits set
+      } else if (roll < ab) {
+        dst |= 1;
+      } else if (roll < abc) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    graph.edges.push_back({static_cast<Gid>(src), static_cast<Gid>(dst),
+                           EdgeKind::kGeneric});
+  }
+  return graph;
+}
+
+}  // namespace faultyrank

@@ -1,0 +1,30 @@
+// R-MAT graph generator (Chakrabarti et al.), configured like the
+// paper: a=0.57, b=0.19, c=0.19 (Graph500 parameters), scale S giving
+// 2^S vertices, and a chosen average degree (Tables III–V use 8 and a
+// 4…32 sweep).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace faultyrank {
+
+struct RmatConfig {
+  std::uint32_t scale = 16;        ///< 2^scale vertices
+  std::uint32_t avg_degree = 8;    ///< edges = vertices * avg_degree
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;                 ///< d = 1 - a - b - c
+  std::uint64_t seed = 0x524d4154; ///< "RMAT"
+};
+
+struct GeneratedGraph {
+  std::uint64_t vertex_count = 0;
+  std::vector<GidEdge> edges;
+};
+
+[[nodiscard]] GeneratedGraph generate_rmat(const RmatConfig& config);
+
+}  // namespace faultyrank

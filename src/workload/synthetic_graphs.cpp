@@ -1,0 +1,82 @@
+#include "workload/synthetic_graphs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace faultyrank {
+
+namespace {
+constexpr std::uint64_t kAmazonVertices = 403393;
+constexpr std::uint64_t kAmazonEdges = 4886816;
+constexpr std::uint64_t kRoadNetVertices = 1971281;
+constexpr std::uint64_t kRoadNetEdges = 5533214;
+}  // namespace
+
+GeneratedGraph make_amazon_like(double scale, std::uint64_t seed) {
+  GeneratedGraph graph;
+  graph.vertex_count = std::max<std::uint64_t>(
+      16, static_cast<std::uint64_t>(std::llround(kAmazonVertices * scale)));
+  const std::uint64_t edge_count = std::max<std::uint64_t>(
+      graph.vertex_count,
+      static_cast<std::uint64_t>(std::llround(kAmazonEdges * scale)));
+  graph.edges.reserve(edge_count);
+
+  Rng rng(seed);
+  // Copy model: with probability p, the destination copies the
+  // destination of an earlier edge (preferential attachment → the
+  // heavy-tailed in-degree of co-purchase graphs); otherwise uniform.
+  constexpr double kCopyProbability = 0.5;
+  for (std::uint64_t i = 0; i < edge_count; ++i) {
+    const auto src = static_cast<Gid>(rng.below(graph.vertex_count));
+    Gid dst;
+    if (!graph.edges.empty() && rng.chance(kCopyProbability)) {
+      dst = graph.edges[rng.below(graph.edges.size())].dst;
+    } else {
+      dst = static_cast<Gid>(rng.below(graph.vertex_count));
+    }
+    graph.edges.push_back({src, dst, EdgeKind::kGeneric});
+  }
+  return graph;
+}
+
+GeneratedGraph make_roadnet_like(double scale, std::uint64_t seed) {
+  GeneratedGraph graph;
+  const auto target_vertices = std::max<std::uint64_t>(
+      16, static_cast<std::uint64_t>(std::llround(kRoadNetVertices * scale)));
+  // Lay the vertices on a near-square lattice.
+  const auto width = static_cast<std::uint64_t>(
+      std::llround(std::sqrt(static_cast<double>(target_vertices))));
+  const std::uint64_t height = (target_vertices + width - 1) / width;
+  graph.vertex_count = width * height;
+  const std::uint64_t target_edges = static_cast<std::uint64_t>(
+      std::llround(kRoadNetEdges * scale));
+
+  // A full lattice has ~2·V undirected adjacencies = 4·V directed
+  // edges; thin it to the road-network average degree (~2.8).
+  const double keep = std::min(
+      1.0, static_cast<double>(target_edges) /
+               (4.0 * static_cast<double>(graph.vertex_count)));
+
+  Rng rng(seed);
+  graph.edges.reserve(target_edges + graph.vertex_count / 8);
+  for (std::uint64_t y = 0; y < height; ++y) {
+    for (std::uint64_t x = 0; x < width; ++x) {
+      const auto v = static_cast<Gid>(y * width + x);
+      if (x + 1 < width && rng.chance(keep)) {
+        const auto r = static_cast<Gid>(v + 1);
+        graph.edges.push_back({v, r, EdgeKind::kGeneric});
+        graph.edges.push_back({r, v, EdgeKind::kGeneric});
+      }
+      if (y + 1 < height && rng.chance(keep)) {
+        const auto below = static_cast<Gid>(v + width);
+        graph.edges.push_back({v, below, EdgeKind::kGeneric});
+        graph.edges.push_back({below, v, EdgeKind::kGeneric});
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace faultyrank

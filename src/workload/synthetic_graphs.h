@@ -1,0 +1,25 @@
+// Synthetic stand-ins for the two SNAP datasets of Table III
+// (offline substitution — see DESIGN.md §1):
+//
+//   Amazon   403 393 v / 4 886 816 e — heavy-tailed co-purchase graph,
+//            approximated with a preferential-attachment copy model.
+//   Road-Net 1 971 281 v / 5 533 214 e — near-planar low-degree mesh,
+//            approximated with a randomly-thinned 2-D lattice.
+//
+// `scale` shrinks both proportionally (scale=1 reproduces the paper's
+// sizes; benches default lower to fit the container).
+#pragma once
+
+#include <cstdint>
+
+#include "workload/rmat.h"
+
+namespace faultyrank {
+
+[[nodiscard]] GeneratedGraph make_amazon_like(double scale = 1.0,
+                                              std::uint64_t seed = 0xa9a901);
+
+[[nodiscard]] GeneratedGraph make_roadnet_like(double scale = 1.0,
+                                               std::uint64_t seed = 0x70ad);
+
+}  // namespace faultyrank

@@ -1,0 +1,79 @@
+#include "aggregator/aggregator.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace faultyrank {
+namespace {
+
+TEST(AggregatorTest, MergesClusterScanIntoUnifiedGraph) {
+  LustreCluster cluster = testing::make_populated_cluster(100, 11);
+  const ClusterScan scan = scan_cluster(cluster);
+  const AggregationResult agg = aggregate(scan.results);
+
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;
+  for (const auto& result : scan.results) {
+    vertices += result.graph.vertices.size();
+    edges += result.graph.edges.size();
+  }
+  // Healthy cluster: every scanned vertex is unique, every edge kept.
+  EXPECT_EQ(agg.graph.vertex_count(), vertices);
+  EXPECT_EQ(agg.graph.edge_count(), edges);
+}
+
+TEST(AggregatorTest, ChargesTransferOnlyForRemotePartialGraphs) {
+  LustreCluster cluster = testing::make_populated_cluster(100, 12);
+  const ClusterScan scan = scan_cluster(cluster);
+  const AggregationResult agg = aggregate(scan.results);
+
+  std::uint64_t remote_bytes = 0;
+  for (const auto& result : scan.results) {
+    if (!result.local_to_mds) remote_bytes += result.graph.wire_bytes();
+  }
+  EXPECT_EQ(agg.transferred_bytes, remote_bytes);
+  EXPECT_GT(agg.transferred_bytes, 0u);
+  EXPECT_GT(agg.sim_transfer_seconds, 0.0);
+}
+
+TEST(AggregatorTest, SlowerNetworkCostsMoreVirtualTime) {
+  LustreCluster cluster = testing::make_populated_cluster(100, 13);
+  const ClusterScan scan = scan_cluster(cluster);
+  const NetModel fast{.latency_seconds = 1e-5, .bandwidth_bytes_per_s = 10e9};
+  const NetModel slow{.latency_seconds = 1e-3, .bandwidth_bytes_per_s = 100e6};
+  EXPECT_GT(aggregate(scan.results, slow).sim_transfer_seconds,
+            aggregate(scan.results, fast).sim_transfer_seconds);
+}
+
+TEST(AggregatorTest, RemapAssignsDenseGids) {
+  LustreCluster cluster = testing::make_populated_cluster(80, 14);
+  const ClusterScan scan = scan_cluster(cluster);
+  const AggregationResult agg = aggregate(scan.results);
+  // Dense: every gid < vertex_count maps back to a unique FID.
+  for (Gid v = 0; v < agg.graph.vertex_count(); ++v) {
+    EXPECT_EQ(agg.graph.vertices().lookup(agg.graph.vertices().fid_of(v)), v);
+  }
+}
+
+TEST(AggregatorTest, WireRoundTripPreservesGraphExactly) {
+  // The aggregator decodes what the network delivered; a corrupted
+  // partial graph must surface as an error, not silent data loss.
+  LustreCluster cluster = testing::make_populated_cluster(50, 15);
+  const ClusterScan scan = scan_cluster(cluster);
+  for (const auto& result : scan.results) {
+    const PartialGraph decoded =
+        PartialGraph::deserialize(result.graph.serialize());
+    EXPECT_EQ(decoded.vertices.size(), result.graph.vertices.size());
+    EXPECT_EQ(decoded.edges.size(), result.graph.edges.size());
+  }
+}
+
+TEST(AggregatorTest, EmptyScanYieldsEmptyGraph) {
+  const AggregationResult agg = aggregate({});
+  EXPECT_EQ(agg.graph.vertex_count(), 0u);
+  EXPECT_EQ(agg.transferred_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace faultyrank

@@ -1,0 +1,159 @@
+// Generality (paper §VI): the unchanged FaultyRank core — rank kernel,
+// detector, categories, repair planning — operating on the BeeGFS
+// substrate through its own scanner and repair executor.
+#include "beegfs/bee_checker.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/unified_graph.h"
+
+namespace faultyrank {
+namespace {
+
+/// A small populated BeeGFS cluster.
+BeeCluster make_cluster(std::uint64_t seed, std::size_t files = 120) {
+  BeeCluster cluster(4);
+  Rng rng(seed);
+  std::vector<std::string> dirs = {cluster.root()};
+  for (std::size_t i = 0; i < files / 8; ++i) {
+    dirs.push_back(
+        cluster.mkdir(dirs[rng.below(dirs.size())], "d" + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i < files; ++i) {
+    cluster.create_file(dirs[rng.below(dirs.size())],
+                        "f" + std::to_string(i),
+                        64 * 1024 + rng.below(3u << 20));
+  }
+  return cluster;
+}
+
+UnifiedGraph scan_to_graph(const BeeCluster& cluster) {
+  const auto scans = scan_bee_cluster(cluster);
+  std::vector<PartialGraph> partials;
+  for (const auto& scan : scans) partials.push_back(scan.graph);
+  return UnifiedGraph::aggregate(partials);
+}
+
+TEST(BeeScannerTest, HealthyClusterScansFullyPaired) {
+  const BeeCluster cluster = make_cluster(81);
+  const UnifiedGraph graph = scan_to_graph(cluster);
+  EXPECT_GT(graph.vertex_count(), 0u);
+  EXPECT_TRUE(graph.unpaired_edges().empty());
+}
+
+TEST(BeeScannerTest, VertexCountMatchesEntitiesPlusChunks) {
+  const BeeCluster cluster = make_cluster(82);
+  const UnifiedGraph graph = scan_to_graph(cluster);
+  EXPECT_EQ(graph.vertex_count(),
+            cluster.meta_inodes_used() + cluster.total_chunks());
+}
+
+TEST(BeeCheckerTest, HealthyClusterChecksConsistent) {
+  BeeCluster cluster = make_cluster(83);
+  const BeeCheckResult result = run_bee_checker(cluster);
+  EXPECT_TRUE(result.report.consistent());
+  EXPECT_EQ(result.unpaired_edges, 0u);
+}
+
+TEST(BeeCheckerTest, WipedDentriesDetectedAndRepaired) {
+  // The S3 analogue: a directory's dentry files vanish.
+  BeeCluster cluster = make_cluster(84);
+  const std::string dir = cluster.mkdir(cluster.root(), "victim");
+  const std::string f1 = cluster.create_file(dir, "a", 1 << 20);
+  const std::string f2 = cluster.create_file(dir, "b", 1 << 20);
+  cluster.meta().dentries[dir].clear();
+
+  BeeCheckerConfig config;
+  config.apply_repairs = true;
+  config.verify_after_repair = true;
+  const BeeCheckResult result = run_bee_checker(cluster, config);
+  EXPECT_FALSE(result.report.consistent());
+  EXPECT_TRUE(result.verified_consistent);
+  EXPECT_EQ(cluster.meta().dentries[dir].size(), 2u);
+  EXPECT_EQ(cluster.meta().dentries[dir]["a"], f1);
+  EXPECT_EQ(cluster.meta().dentries[dir]["b"], f2);
+}
+
+TEST(BeeCheckerTest, CorruptedOriginXattrDetectedAndRepaired) {
+  // The S7 analogue: a chunk's origin xattr goes bogus.
+  BeeCluster cluster = make_cluster(85);
+  const std::string file = cluster.create_file(cluster.root(), "x", 1 << 20);
+  const std::uint32_t target = cluster.meta().find(file)->pattern->targets[0];
+  for (BeeChunkFile& chunk : cluster.targets()[target].chunks) {
+    if (chunk.in_use && chunk.name == file) {
+      chunk.xattr_origin = "ffff-9999-bee";
+      break;
+    }
+  }
+
+  BeeCheckerConfig config;
+  config.apply_repairs = true;
+  config.verify_after_repair = true;
+  const BeeCheckResult result = run_bee_checker(cluster, config);
+  EXPECT_FALSE(result.report.consistent());
+  EXPECT_TRUE(result.verified_consistent);
+  for (const BeeChunkFile& chunk : cluster.targets()[target].chunks) {
+    if (chunk.in_use && chunk.name == file) {
+      EXPECT_EQ(chunk.xattr_origin, file);
+    }
+  }
+}
+
+TEST(BeeCheckerTest, RenamedChunkFileDetectedAndReidentified) {
+  // The S2 analogue: a chunk file is renamed — its identity changes
+  // while its origin xattr still points home.
+  BeeCluster cluster = make_cluster(86);
+  const std::string file = cluster.create_file(cluster.root(), "y", 1 << 20);
+  const std::uint32_t target = cluster.meta().find(file)->pattern->targets[0];
+  for (BeeChunkFile& chunk : cluster.targets()[target].chunks) {
+    if (chunk.in_use && chunk.name == file) {
+      chunk.name = entry_id_from_fid(Fid{kBeeMetaSeq, 0x7fffffff, 0});
+      break;
+    }
+  }
+
+  BeeCheckerConfig config;
+  config.apply_repairs = true;
+  config.verify_after_repair = true;
+  const BeeCheckResult result = run_bee_checker(cluster, config);
+  EXPECT_FALSE(result.report.consistent());
+  EXPECT_TRUE(result.verified_consistent);
+  bool renamed_back = false;
+  for (const BeeChunkFile& chunk : cluster.targets()[target].chunks) {
+    if (chunk.in_use && chunk.name == file) renamed_back = true;
+  }
+  EXPECT_TRUE(renamed_back);
+}
+
+TEST(BeeCheckerTest, MissingParentXattrRepairedFromDentry) {
+  BeeCluster cluster = make_cluster(87);
+  const std::string dir = cluster.mkdir(cluster.root(), "pdir");
+  const std::string file = cluster.create_file(dir, "child", 1 << 20);
+  cluster.meta().find(file)->parent_entry_id.clear();
+
+  BeeCheckerConfig config;
+  config.apply_repairs = true;
+  config.verify_after_repair = true;
+  const BeeCheckResult result = run_bee_checker(cluster, config);
+  EXPECT_TRUE(result.verified_consistent);
+  EXPECT_EQ(cluster.meta().find(file)->parent_entry_id, dir);
+}
+
+TEST(BeeCheckerTest, RepairsAreIdempotent) {
+  BeeCluster cluster = make_cluster(88);
+  const std::string file = cluster.create_file(cluster.root(), "z", 1 << 20);
+  cluster.meta().find(file)->parent_entry_id = "dead-beef-bee";
+
+  BeeCheckerConfig config;
+  config.apply_repairs = true;
+  config.verify_after_repair = true;
+  const BeeCheckResult first = run_bee_checker(cluster, config);
+  EXPECT_TRUE(first.verified_consistent);
+  const BeeCheckResult second = run_bee_checker(cluster, config);
+  EXPECT_TRUE(second.report.consistent());
+  EXPECT_EQ(second.repairs_applied, 0u);
+}
+
+}  // namespace
+}  // namespace faultyrank

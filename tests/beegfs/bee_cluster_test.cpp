@@ -1,0 +1,93 @@
+#include "beegfs/bee_cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace faultyrank {
+namespace {
+
+TEST(BeeEntryIdTest, FidRoundTrip) {
+  const Fid fids[] = {
+      {kBeeMetaSeq, 1, 0},
+      {kBeeMetaSeq, 0xffffffff, 0},
+      {kBeeChunkSeqBase + 3, 42, 0},
+  };
+  for (const Fid& fid : fids) {
+    const auto parsed = fid_from_entry_id(entry_id_from_fid(fid));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, fid);
+  }
+}
+
+TEST(BeeEntryIdTest, RejectsGarbage) {
+  EXPECT_FALSE(fid_from_entry_id("").has_value());
+  EXPECT_FALSE(fid_from_entry_id("not-an-id").has_value());
+  EXPECT_FALSE(fid_from_entry_id("12-34-xxx").has_value());
+}
+
+TEST(BeeClusterTest, ConstructionCreatesRoot) {
+  BeeCluster cluster(4);
+  EXPECT_FALSE(cluster.root().empty());
+  EXPECT_NE(cluster.meta().find(cluster.root()), nullptr);
+  EXPECT_EQ(cluster.meta_inodes_used(), 1u);
+  EXPECT_THROW(BeeCluster(0), BeeClusterError);
+}
+
+TEST(BeeClusterTest, MkdirMaintainsDentryAndParentXattr) {
+  BeeCluster cluster(2);
+  const std::string dir = cluster.mkdir(cluster.root(), "projects");
+  const BeeMetaInode* inode = cluster.meta().find(dir);
+  ASSERT_NE(inode, nullptr);
+  EXPECT_EQ(inode->parent_entry_id, cluster.root());
+  EXPECT_EQ(inode->name, "projects");
+  EXPECT_EQ(cluster.meta().dentries.at(cluster.root()).at("projects"), dir);
+  EXPECT_THROW(cluster.mkdir(cluster.root(), "projects"), BeeClusterError);
+}
+
+TEST(BeeClusterTest, CreateFileAllocatesChunksWithOriginXattrs) {
+  BeeCluster cluster(4, BeeStripePattern{512 * 1024, {}});
+  const std::string file =
+      cluster.create_file(cluster.root(), "data", 3 * 512 * 1024);
+  const BeeMetaInode* inode = cluster.meta().find(file);
+  ASSERT_TRUE(inode->pattern.has_value());
+  ASSERT_EQ(inode->pattern->targets.size(), 3u);
+  for (const std::uint32_t target : inode->pattern->targets) {
+    bool found = false;
+    for (const BeeChunkFile& chunk : cluster.targets()[target].chunks) {
+      if (chunk.in_use && chunk.name == file) {
+        EXPECT_EQ(chunk.xattr_origin, file);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "target " << target;
+  }
+  EXPECT_EQ(cluster.total_chunks(), 3u);
+}
+
+TEST(BeeClusterTest, ChunkCountCappedByTargets) {
+  BeeCluster cluster(2, BeeStripePattern{512 * 1024, {}});
+  const std::string file =
+      cluster.create_file(cluster.root(), "big", 100 * 512 * 1024);
+  EXPECT_EQ(cluster.meta().find(file)->pattern->targets.size(), 2u);
+}
+
+TEST(BeeClusterTest, UnlinkFreesEntryAndChunks) {
+  BeeCluster cluster(2);
+  const std::string dir = cluster.mkdir(cluster.root(), "d");
+  cluster.create_file(dir, "f", 1024 * 1024);
+  EXPECT_GT(cluster.total_chunks(), 0u);
+  cluster.unlink(dir, "f");
+  EXPECT_EQ(cluster.total_chunks(), 0u);
+  EXPECT_THROW(cluster.unlink(dir, "f"), BeeClusterError);
+  cluster.unlink(cluster.root(), "d");
+  EXPECT_EQ(cluster.meta_inodes_used(), 1u);
+}
+
+TEST(BeeClusterTest, NonEmptyDirectoryCannotBeUnlinked) {
+  BeeCluster cluster(2);
+  const std::string dir = cluster.mkdir(cluster.root(), "d");
+  cluster.create_file(dir, "f", 1000);
+  EXPECT_THROW(cluster.unlink(cluster.root(), "d"), BeeClusterError);
+}
+
+}  // namespace
+}  // namespace faultyrank

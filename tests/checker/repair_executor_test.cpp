@@ -1,0 +1,226 @@
+#include "checker/repair_executor.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace faultyrank {
+namespace {
+
+TEST(RepairExecutorTest, OverwriteIdRewritesLmaAndOi) {
+  LustreCluster cluster(2, StripePolicy{64 * 1024, 1});
+  const Fid file = cluster.create_file(cluster.root(), "f", 1000);
+  const Fid new_id{0x777, 1, 0};
+
+  RepairExecutor executor(cluster);
+  const RepairOutcome outcome = executor.apply(
+      {RepairKind::kOverwriteId, file, new_id, kNullFid, EdgeKind::kGeneric,
+       kNullFid, ""});
+  EXPECT_TRUE(outcome.applied);
+  EXPECT_EQ(cluster.mdt().image.find_by_fid_raw(file), nullptr);
+  const Inode* inode = cluster.mdt().image.find_by_fid(new_id);
+  ASSERT_NE(inode, nullptr);
+  EXPECT_EQ(inode->lma_fid, new_id);
+}
+
+TEST(RepairExecutorTest, OverwriteIdMissingTargetFails) {
+  LustreCluster cluster(2);
+  RepairExecutor executor(cluster);
+  const RepairOutcome outcome = executor.apply(
+      {RepairKind::kOverwriteId, Fid{9, 9, 9}, Fid{1, 1, 1}, kNullFid,
+       EdgeKind::kGeneric, kNullFid, ""});
+  EXPECT_FALSE(outcome.applied);
+}
+
+TEST(RepairExecutorTest, OverwriteIdHonoursOwnerHintOnCollision) {
+  LustreCluster cluster(2, StripePolicy{64 * 1024, 1});
+  const Fid file_a = cluster.create_file(cluster.root(), "a", 1000);
+  const Fid file_c = cluster.create_file(cluster.root(), "c", 1000);
+  const Inode* a = cluster.stat(file_a);
+  const Inode* c = cluster.stat(file_c);
+  const LovEaEntry slot_a = a->lov_ea->stripes[0];
+  const LovEaEntry slot_c = c->lov_ea->stripes[0];
+  // Duplicate: a's object takes c's object's id.
+  Inode* object_a = cluster.ost(slot_a.ost_index).image.find_by_fid(slot_a.stripe);
+  cluster.ost(slot_a.ost_index).image.oi_erase(object_a->lma_fid);
+  object_a->lma_fid = slot_c.stripe;
+
+  RepairExecutor executor(cluster);
+  const RepairOutcome outcome = executor.apply(
+      {RepairKind::kOverwriteId, slot_c.stripe, slot_a.stripe, kNullFid,
+       EdgeKind::kLovEa, /*owner_hint=*/file_a, ""});
+  ASSERT_TRUE(outcome.applied);
+  // The duplicate (pointing at file_a) was re-identified; c's object is
+  // untouched and still resolvable.
+  const Inode* restored =
+      cluster.ost(slot_a.ost_index).image.find_by_fid_raw(slot_a.stripe);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->filter_fid->parent, file_a);
+  const Inode* untouched =
+      cluster.ost(slot_c.ost_index).image.find_by_fid(slot_c.stripe);
+  ASSERT_NE(untouched, nullptr);
+  EXPECT_EQ(untouched->filter_fid->parent, file_c);
+}
+
+TEST(RepairExecutorTest, AddBackPointerRestoresLinkEaWithName) {
+  LustreCluster cluster(2);
+  const Fid dir = cluster.mkdir(cluster.root(), "docs");
+  Inode* inode = cluster.mdt().image.find_by_fid(dir);
+  inode->link_ea.clear();
+
+  RepairExecutor executor(cluster);
+  const RepairOutcome outcome = executor.apply(
+      {RepairKind::kAddBackPointer, dir, cluster.root(), kNullFid,
+       EdgeKind::kLinkEa, kNullFid, ""});
+  ASSERT_TRUE(outcome.applied);
+  inode = cluster.mdt().image.find_by_fid(dir);
+  ASSERT_EQ(inode->link_ea.size(), 1u);
+  EXPECT_EQ(inode->link_ea[0].parent, cluster.root());
+  EXPECT_EQ(inode->link_ea[0].name, "docs");  // recovered from DIRENT
+}
+
+TEST(RepairExecutorTest, AddBackPointerRestoresDirentWithName) {
+  LustreCluster cluster(2);
+  const Fid dir = cluster.mkdir(cluster.root(), "gone");
+  Inode* root = cluster.mdt().image.find_by_fid(cluster.root());
+  root->dirents.clear();
+
+  RepairExecutor executor(cluster);
+  const RepairOutcome outcome = executor.apply(
+      {RepairKind::kAddBackPointer, cluster.root(), dir, kNullFid,
+       EdgeKind::kDirent, kNullFid, ""});
+  ASSERT_TRUE(outcome.applied);
+  root = cluster.mdt().image.find_by_fid(cluster.root());
+  ASSERT_EQ(root->dirents.size(), 1u);
+  EXPECT_EQ(root->dirents[0].name, "gone");  // recovered from LinkEA
+  EXPECT_EQ(root->dirents[0].fid, dir);
+}
+
+TEST(RepairExecutorTest, AddBackPointerRestoresFilterFidWithStripeIndex) {
+  LustreCluster cluster(2, StripePolicy{64 * 1024, -1});
+  const Fid file = cluster.create_file(cluster.root(), "f", 2 * 64 * 1024);
+  const LovEaEntry slot = cluster.stat(file)->lov_ea->stripes[1];
+  Inode* object = cluster.ost(slot.ost_index).image.find_by_fid(slot.stripe);
+  object->filter_fid.reset();
+
+  RepairExecutor executor(cluster);
+  const RepairOutcome outcome = executor.apply(
+      {RepairKind::kAddBackPointer, slot.stripe, file, kNullFid,
+       EdgeKind::kObjParent, kNullFid, ""});
+  ASSERT_TRUE(outcome.applied);
+  object = cluster.ost(slot.ost_index).image.find_by_fid(slot.stripe);
+  ASSERT_TRUE(object->filter_fid.has_value());
+  EXPECT_EQ(object->filter_fid->parent, file);
+  EXPECT_EQ(object->filter_fid->stripe_index, 1u);
+}
+
+TEST(RepairExecutorTest, AddBackPointerIsIdempotent) {
+  LustreCluster cluster(2);
+  const Fid dir = cluster.mkdir(cluster.root(), "d");
+  RepairExecutor executor(cluster);
+  const RepairAction action{RepairKind::kAddBackPointer, dir, cluster.root(),
+                            kNullFid, EdgeKind::kLinkEa, kNullFid, ""};
+  EXPECT_TRUE(executor.apply(action).applied);
+  EXPECT_TRUE(executor.apply(action).applied);
+  EXPECT_EQ(cluster.stat(dir)->link_ea.size(), 1u);
+}
+
+TEST(RepairExecutorTest, RelinkPropertyReplacesLovSlot) {
+  LustreCluster cluster(2, StripePolicy{64 * 1024, 1});
+  const Fid file = cluster.create_file(cluster.root(), "f", 1000);
+  const Fid orphan = cluster.create_file(cluster.root(), "g", 1000);
+  const Fid orphan_stripe = cluster.stat(orphan)->lov_ea->stripes[0].stripe;
+  const Fid stale = cluster.stat(file)->lov_ea->stripes[0].stripe;
+
+  RepairExecutor executor(cluster);
+  const RepairOutcome outcome = executor.apply(
+      {RepairKind::kRelinkProperty, file, orphan_stripe, stale,
+       EdgeKind::kLovEa, kNullFid, ""});
+  ASSERT_TRUE(outcome.applied);
+  EXPECT_EQ(cluster.stat(file)->lov_ea->stripes[0].stripe, orphan_stripe);
+}
+
+TEST(RepairExecutorTest, RelinkFailsWhenStaleAbsent) {
+  LustreCluster cluster(2, StripePolicy{64 * 1024, 1});
+  const Fid file = cluster.create_file(cluster.root(), "f", 1000);
+  RepairExecutor executor(cluster);
+  const RepairOutcome outcome = executor.apply(
+      {RepairKind::kRelinkProperty, file, Fid{5, 5, 0}, Fid{6, 6, 0},
+       EdgeKind::kLovEa, kNullFid, ""});
+  EXPECT_FALSE(outcome.applied);
+}
+
+TEST(RepairExecutorTest, RemoveReferenceDropsOneInstance) {
+  LustreCluster cluster(2, StripePolicy{64 * 1024, 1});
+  const Fid file = cluster.create_file(cluster.root(), "f", 1000);
+  Inode* inode = cluster.mdt().image.find_by_fid(file);
+  const LovEaEntry slot = inode->lov_ea->stripes[0];
+  inode->lov_ea->stripes.push_back(slot);  // duplicate entry
+
+  RepairExecutor executor(cluster);
+  const RepairOutcome outcome = executor.apply(
+      {RepairKind::kRemoveReference, file, slot.stripe, kNullFid,
+       EdgeKind::kLovEa, kNullFid, ""});
+  ASSERT_TRUE(outcome.applied);
+  EXPECT_EQ(cluster.stat(file)->lov_ea->stripes.size(), 1u);
+}
+
+TEST(RepairExecutorTest, QuarantineMovesMdtObjectToLostFound) {
+  LustreCluster cluster(2);
+  const Fid dir = cluster.mkdir(cluster.root(), "victim");
+  RepairExecutor executor(cluster);
+  const RepairOutcome outcome = executor.apply(
+      {RepairKind::kQuarantineLostFound, dir, kNullFid, kNullFid,
+       EdgeKind::kGeneric, kNullFid, ""});
+  ASSERT_TRUE(outcome.applied);
+  // Gone from the root, present in lost+found.
+  const Inode* root = cluster.stat(cluster.root());
+  for (const auto& entry : root->dirents) EXPECT_NE(entry.fid, dir);
+  const Inode* lf = cluster.stat(cluster.resolve("/.lustre/lost+found"));
+  bool found = false;
+  for (const auto& entry : lf->dirents) {
+    if (entry.fid == dir) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RepairExecutorTest, QuarantineStubsOstOrphan) {
+  LustreCluster cluster(2, StripePolicy{64 * 1024, 1});
+  const Fid file = cluster.create_file(cluster.root(), "f", 1000);
+  const LovEaEntry slot = cluster.stat(file)->lov_ea->stripes[0];
+  // Orphan the object: drop the file's claim.
+  cluster.mdt().image.find_by_fid(file)->lov_ea->stripes.clear();
+
+  RepairExecutor executor(cluster);
+  const RepairOutcome outcome = executor.apply(
+      {RepairKind::kQuarantineLostFound, slot.stripe, kNullFid, kNullFid,
+       EdgeKind::kGeneric, kNullFid, ""});
+  ASSERT_TRUE(outcome.applied);
+  // A stub file in lost+found now owns the object.
+  const Inode* object =
+      cluster.ost(slot.ost_index).image.find_by_fid(slot.stripe);
+  ASSERT_TRUE(object->filter_fid.has_value());
+  const Inode* stub = cluster.stat(object->filter_fid->parent);
+  ASSERT_NE(stub, nullptr);
+  ASSERT_TRUE(stub->lov_ea.has_value());
+  EXPECT_EQ(stub->lov_ea->stripes[0].stripe, slot.stripe);
+}
+
+TEST(RepairExecutorTest, ApplyAllReportsPerActionOutcomes) {
+  LustreCluster cluster(2);
+  const Fid dir = cluster.mkdir(cluster.root(), "d");
+  RepairExecutor executor(cluster);
+  const RepairPlan plan = {
+      {RepairKind::kAddBackPointer, dir, cluster.root(), kNullFid,
+       EdgeKind::kLinkEa, kNullFid, ""},
+      {RepairKind::kOverwriteId, Fid{9, 9, 9}, Fid{1, 1, 1}, kNullFid,
+       EdgeKind::kGeneric, kNullFid, ""},
+  };
+  const auto outcomes = executor.apply_all(plan);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_TRUE(outcomes[0].applied);
+  EXPECT_FALSE(outcomes[1].applied);
+}
+
+}  // namespace
+}  // namespace faultyrank

@@ -1,0 +1,75 @@
+#include "common/fid.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace faultyrank {
+namespace {
+
+TEST(FidTest, DefaultIsNull) {
+  EXPECT_TRUE(Fid{}.is_null());
+  EXPECT_TRUE(kNullFid.is_null());
+  EXPECT_FALSE((Fid{1, 0, 0}).is_null());
+  EXPECT_FALSE((Fid{0, 1, 0}).is_null());
+  EXPECT_FALSE((Fid{0, 0, 1}).is_null());
+}
+
+TEST(FidTest, OrderingComparesComponentsLexicographically) {
+  EXPECT_LT((Fid{1, 5, 0}), (Fid{2, 0, 0}));
+  EXPECT_LT((Fid{1, 5, 0}), (Fid{1, 6, 0}));
+  EXPECT_LT((Fid{1, 5, 0}), (Fid{1, 5, 1}));
+  EXPECT_EQ((Fid{1, 5, 7}), (Fid{1, 5, 7}));
+}
+
+TEST(FidTest, ToStringMatchesLustreForm) {
+  EXPECT_EQ((Fid{0x200000400, 0x2a, 0}).to_string(), "[0x200000400:0x2a:0x0]");
+  EXPECT_EQ(kNullFid.to_string(), "[0x0:0x0:0x0]");
+}
+
+TEST(FidTest, ParseRoundTrip) {
+  const Fid cases[] = {
+      {0, 0, 0},
+      {1, 2, 3},
+      {0x200000400, 0xffffffff, 0xffffffff},
+      {0xffffffffffffffffULL, 1, 0},
+  };
+  for (const Fid& fid : cases) {
+    const auto parsed = Fid::parse(fid.to_string());
+    ASSERT_TRUE(parsed.has_value()) << fid.to_string();
+    EXPECT_EQ(*parsed, fid);
+  }
+}
+
+TEST(FidTest, ParseRejectsMalformedInput) {
+  const char* bad[] = {
+      "",
+      "[]",
+      "0x1:0x2:0x3",
+      "[0x1:0x2]",
+      "[0x1:0x2:0x3",
+      "0x1:0x2:0x3]",
+      "[1:2:3]",
+      "[0x1:0x2:0x3]x",
+      "[0x1:0xZZ:0x3]",
+      "[0x1:0x100000000:0x0]",   // oid overflows 32 bits
+      "[0x1:0x0:0x100000000]",   // ver overflows 32 bits
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(Fid::parse(text).has_value()) << text;
+  }
+}
+
+TEST(FidTest, HashSpreadsDistinctFids) {
+  FidHash hash;
+  std::unordered_set<std::size_t> seen;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    seen.insert(hash(Fid{0x200000400, i, 0}));
+    seen.insert(hash(Fid{0x100010000ULL + i, 1, 0}));
+  }
+  // No more than a handful of collisions over 2000 inputs.
+  EXPECT_GE(seen.size(), 1995u);
+}
+
+}  // namespace
+}  // namespace faultyrank

@@ -1,0 +1,73 @@
+#include "common/serdes.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace faultyrank {
+namespace {
+
+TEST(SerdesTest, ScalarRoundTrip) {
+  ByteWriter w;
+  w.put<std::uint8_t>(0x12);
+  w.put<std::uint32_t>(0xdeadbeef);
+  w.put<std::uint64_t>(0x0123456789abcdefULL);
+  w.put<double>(3.25);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get<std::uint8_t>(), 0x12);
+  EXPECT_EQ(r.get<std::uint32_t>(), 0xdeadbeefu);
+  EXPECT_EQ(r.get<std::uint64_t>(), 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 3.25);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(SerdesTest, StringRoundTrip) {
+  ByteWriter w;
+  w.put_string("");
+  w.put_string("oss3");
+  w.put_string(std::string(1000, 'x'));
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_EQ(r.get_string(), "oss3");
+  EXPECT_EQ(r.get_string(), std::string(1000, 'x'));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(SerdesTest, TruncatedScalarThrows) {
+  ByteWriter w;
+  w.put<std::uint16_t>(7);
+  ByteReader r(w.bytes());
+  EXPECT_THROW((void)r.get<std::uint64_t>(), SerdesError);
+}
+
+TEST(SerdesTest, TruncatedStringThrows) {
+  ByteWriter w;
+  w.put<std::uint32_t>(100);  // claims 100 bytes, provides none
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.get_string(), SerdesError);
+}
+
+TEST(SerdesTest, RemainingTracksPosition) {
+  ByteWriter w;
+  w.put<std::uint32_t>(1);
+  w.put<std::uint32_t>(2);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.get<std::uint32_t>();
+  EXPECT_EQ(r.remaining(), 4u);
+  (void)r.get<std::uint32_t>();
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(SerdesTest, TakeMovesBufferOut) {
+  ByteWriter w;
+  w.put<std::uint32_t>(42);
+  const auto bytes = w.take();
+  EXPECT_EQ(bytes.size(), 4u);
+}
+
+}  // namespace
+}  // namespace faultyrank

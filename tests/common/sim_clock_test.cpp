@@ -1,0 +1,48 @@
+#include "common/sim_clock.h"
+
+#include <gtest/gtest.h>
+
+namespace faultyrank {
+namespace {
+
+TEST(SimClockTest, AccumulatesAndResets) {
+  SimClock clock;
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+  clock.advance(1.5);
+  clock.advance(0.25);
+  EXPECT_DOUBLE_EQ(clock.now(), 1.75);
+  clock.reset();
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+TEST(DiskModelTest, SequentialReadIsSeekPlusStreaming) {
+  DiskModel disk{.seek_seconds = 0.01, .bandwidth_bytes_per_s = 100e6};
+  EXPECT_DOUBLE_EQ(disk.sequential_read(0), 0.01);
+  EXPECT_DOUBLE_EQ(disk.sequential_read(100'000'000), 0.01 + 1.0);
+}
+
+TEST(DiskModelTest, RandomReadsChargePerOperation) {
+  DiskModel disk{.seek_seconds = 0.001, .bandwidth_bytes_per_s = 1e9};
+  EXPECT_DOUBLE_EQ(disk.random_reads(0, 4096), 0.0);
+  EXPECT_NEAR(disk.random_reads(1000, 0), 1.0, 1e-12);
+  EXPECT_GT(disk.random_reads(1000, 1 << 20), 1.0);
+}
+
+TEST(DiskModelTest, SsdIsMuchFasterThanHddAtSeeking) {
+  EXPECT_LT(DiskModel::ssd().seek_seconds * 50, DiskModel::hdd().seek_seconds);
+}
+
+TEST(NetModelTest, TransferIsLatencyPlusBandwidth) {
+  NetModel net{.latency_seconds = 1e-4, .bandwidth_bytes_per_s = 1e9};
+  EXPECT_DOUBLE_EQ(net.transfer(0), 1e-4);
+  EXPECT_DOUBLE_EQ(net.transfer(1'000'000'000), 1e-4 + 1.0);
+}
+
+TEST(RpcModelTest, CallsScaleLinearly) {
+  RpcModel rpc{.round_trip_seconds = 1e-3};
+  EXPECT_DOUBLE_EQ(rpc.calls(0), 0.0);
+  EXPECT_DOUBLE_EQ(rpc.calls(2000), 2.0);
+}
+
+}  // namespace
+}  // namespace faultyrank

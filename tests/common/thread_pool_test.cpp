@@ -1,0 +1,93 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace faultyrank {
+namespace {
+
+TEST(ThreadPoolTest, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t begin, std::size_t end, std::size_t) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t, std::size_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForFewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](std::size_t begin, std::size_t end, std::size_t) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ChunkIndicesAreDistinct) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> chunk_used(4);
+  pool.parallel_for(4000,
+                    [&](std::size_t, std::size_t, std::size_t chunk) {
+                      chunk_used[chunk].fetch_add(1);
+                    });
+  int total = 0;
+  for (auto& c : chunk_used) total += c.load();
+  EXPECT_EQ(total, 4);
+  for (auto& c : chunk_used) EXPECT_LE(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitIdleWithNoWorkReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  for (int batch = 0; batch < 10; ++batch) {
+    pool.parallel_for(100, [&](std::size_t begin, std::size_t end,
+                               std::size_t) {
+      long local = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        local += static_cast<long>(i);
+      }
+      sum.fetch_add(local);
+    });
+  }
+  EXPECT_EQ(sum.load(), 10L * (99L * 100L / 2));
+}
+
+}  // namespace
+}  // namespace faultyrank

@@ -1,0 +1,104 @@
+// Namespace-cycle detection: the paper's §VI "coherently wrong"
+// limitation, addressed with a reachability pass.
+#include <gtest/gtest.h>
+
+#include "checker/checker.h"
+#include "faults/injector.h"
+#include "testing/fixtures.h"
+
+namespace faultyrank {
+namespace {
+
+/// All scanned MDT objects reachable from the root via DIRENT walks?
+bool all_reachable(LustreCluster& cluster) {
+  const CheckerResult result = run_checker(cluster);
+  return result.report.count(InconsistencyCategory::kNamespaceCycle) == 0 &&
+         result.report.consistent();
+}
+
+TEST(NamespaceCycleTest, PairedCycleHasNoUnpairedEdges) {
+  LustreCluster cluster = testing::make_populated_cluster(200, 211);
+  FaultInjector injector(cluster, 2111);
+  injector.inject_namespace_cycle();
+  // The whole point: edge pairing alone sees nothing wrong.
+  const CheckerResult result = run_checker(cluster);
+  EXPECT_EQ(result.unpaired_edges, 0u);
+  // …but the reachability pass does.
+  EXPECT_GE(result.report.count(InconsistencyCategory::kNamespaceCycle), 1u);
+}
+
+TEST(NamespaceCycleTest, CycleIsRepairedIntoLostFound) {
+  LustreCluster cluster = testing::make_populated_cluster(200, 212);
+  FaultInjector injector(cluster, 2122);
+  const GroundTruth truth = injector.inject_namespace_cycle();
+
+  CheckerConfig config;
+  config.apply_repairs = true;
+  config.verify_after_repair = true;
+  const CheckerResult result = run_checker(cluster, config);
+  EXPECT_GE(result.repairs_applied, 1u);
+  EXPECT_TRUE(result.verified_consistent);
+
+  // The cycle head is reachable again (via lost+found) and the second
+  // pass reports no remaining cycles.
+  EXPECT_TRUE(all_reachable(cluster));
+  const Inode* head = cluster.stat(truth.victim);
+  ASSERT_NE(head, nullptr);
+  ASSERT_FALSE(head->link_ea.empty());
+  EXPECT_EQ(head->link_ea.front().parent, cluster.lost_found());
+}
+
+TEST(NamespaceCycleTest, SubtreeContentsSurviveTheRepair) {
+  LustreCluster cluster(2, StripePolicy{64 * 1024, 1});
+  const Fid b = cluster.mkdir(cluster.root(), "b");
+  const Fid a = cluster.mkdir(b, "a");
+  const Fid file = cluster.create_file(a, "data", 1000);
+  FaultInjector injector(cluster, 2133);
+  injector.inject_namespace_cycle();
+
+  CheckerConfig config;
+  config.apply_repairs = true;
+  config.verify_after_repair = true;
+  const CheckerResult result = run_checker(cluster, config);
+  EXPECT_TRUE(result.verified_consistent);
+  // The file deep in the cycled subtree is still intact and owned.
+  const Inode* inode = cluster.stat(file);
+  ASSERT_NE(inode, nullptr);
+  EXPECT_FALSE(inode->link_ea.empty());
+  EXPECT_EQ(inode->link_ea.front().parent, a);
+}
+
+TEST(NamespaceCycleTest, HealthyClusterReportsNoCycles) {
+  LustreCluster cluster = testing::make_populated_cluster(300, 213);
+  const CheckerResult result = run_checker(cluster);
+  EXPECT_EQ(result.report.count(InconsistencyCategory::kNamespaceCycle), 0u);
+}
+
+TEST(NamespaceCycleTest, OneFindingPerCycle) {
+  LustreCluster cluster = testing::make_populated_cluster(400, 214);
+  FaultInjector injector(cluster, 2144);
+  injector.inject_namespace_cycle();
+  injector.inject_namespace_cycle();
+  const CheckerResult result = run_checker(cluster);
+  EXPECT_EQ(result.report.count(InconsistencyCategory::kNamespaceCycle), 2u);
+}
+
+TEST(NamespaceCycleTest, DetectionWorksAcrossMdts) {
+  LustreCluster cluster(4, StripePolicy{64 * 1024, -1}, 3);
+  NamespaceConfig workload;
+  workload.file_count = 200;
+  workload.seed = 215;
+  populate_namespace(cluster, workload);
+  FaultInjector injector(cluster, 2155);
+  injector.inject_namespace_cycle();
+
+  CheckerConfig config;
+  config.apply_repairs = true;
+  config.verify_after_repair = true;
+  const CheckerResult result = run_checker(cluster, config);
+  EXPECT_GE(result.report.count(InconsistencyCategory::kNamespaceCycle), 1u);
+  EXPECT_TRUE(result.verified_consistent);
+}
+
+}  // namespace
+}  // namespace faultyrank

@@ -1,0 +1,320 @@
+#include "core/faultyrank.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/random.h"
+#include "testing/fixtures.h"
+#include "workload/rmat.h"
+
+namespace faultyrank {
+namespace {
+
+using testing::Fig3Fids;
+using testing::make_fig3_consistent_graph;
+using testing::make_fig3_graph;
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(FaultyRankTest, EmptyGraphConverges) {
+  const UnifiedGraph g = UnifiedGraph::from_edges(0, {});
+  const FaultyRankResult r = run_faultyrank(g);
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.id_rank.empty());
+}
+
+TEST(FaultyRankTest, RejectsInvalidConfig) {
+  const UnifiedGraph g = make_fig3_graph();
+  FaultyRankConfig bad_epsilon;
+  bad_epsilon.epsilon = 0.0;
+  EXPECT_THROW((void)run_faultyrank(g, bad_epsilon), std::invalid_argument);
+  FaultyRankConfig bad_weight;
+  bad_weight.unpaired_weight = 1.5;
+  EXPECT_THROW((void)run_faultyrank(g, bad_weight), std::invalid_argument);
+}
+
+TEST(FaultyRankTest, MassIsConservedEachPass) {
+  const UnifiedGraph g = make_fig3_graph();
+  FaultyRankConfig config;
+  config.max_iterations = 1;
+  config.epsilon = 1e-12;
+  const FaultyRankResult r = run_faultyrank(g, config);
+  const double n = static_cast<double>(g.vertex_count());
+  EXPECT_NEAR(sum(r.id_rank), n, 1e-9);
+  EXPECT_NEAR(sum(r.prop_rank), n, 1e-9);
+}
+
+TEST(FaultyRankTest, MassConservedAtConvergenceOnRandomGraph) {
+  const GeneratedGraph gen = generate_rmat({.scale = 10, .avg_degree = 4});
+  const UnifiedGraph g =
+      UnifiedGraph::from_edges(gen.vertex_count, gen.edges);
+  const FaultyRankResult r = run_faultyrank(g);
+  const double n = static_cast<double>(g.vertex_count());
+  EXPECT_NEAR(sum(r.id_rank), n, n * 1e-9);
+  EXPECT_NEAR(sum(r.prop_rank), n, n * 1e-9);
+}
+
+// Table II: on the Fig. 3 example the corrupted fields — c's property
+// and d's id — carry the extreme low scores, well separated from every
+// healthy field. (The paper reports 0.05 vs ≥0.2 on the mass-1 scale.)
+TEST(FaultyRankTest, TableTwoExampleSeparatesCorruptedFields) {
+  const UnifiedGraph g = make_fig3_graph();
+  FaultyRankConfig config;
+  config.epsilon = 1e-3;  // tighter than the paper for a crisp fixpoint
+  const FaultyRankResult r = run_faultyrank(g, config);
+  ASSERT_TRUE(r.converged);
+
+  const Fig3Fids fids;
+  const Gid a = g.vertices().lookup(fids.a);
+  const Gid b = g.vertices().lookup(fids.b);
+  const Gid c = g.vertices().lookup(fids.c);
+  const Gid d = g.vertices().lookup(fids.d);
+
+  const double c_prop = r.normalized_prop_rank(c);
+  const double d_id = r.normalized_id_rank(d);
+  // Corrupted fields sit far below the healthy ones.
+  for (const Gid v : {a, b}) {
+    EXPECT_GT(r.normalized_id_rank(v), 3 * c_prop);
+    EXPECT_GT(r.normalized_prop_rank(v), 3 * d_id);
+  }
+  EXPECT_GT(r.normalized_id_rank(c), 2 * c_prop);
+  EXPECT_GT(r.normalized_prop_rank(d), 2 * d_id);
+  // And below the detection threshold (0.4 × mean).
+  EXPECT_LT(c_prop, 0.4);
+  EXPECT_LT(d_id, 0.4);
+}
+
+TEST(FaultyRankTest, ConsistentGraphHasNoConvictableFields) {
+  const UnifiedGraph g = make_fig3_consistent_graph();
+  const FaultyRankResult r = run_faultyrank(g);
+  ASSERT_TRUE(r.converged);
+  for (Gid v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_GT(r.normalized_id_rank(v), 0.4) << "vertex " << v;
+    EXPECT_GT(r.normalized_prop_rank(v), 0.4) << "vertex " << v;
+  }
+}
+
+// Fig. 4: in the reversed pass, a's id mass splits 10:1 between the
+// acknowledged pointer (b) and the wishful one (c).
+TEST(FaultyRankTest, WeightedDistributionSplitsTenToOne) {
+  // Graph: a↔b paired; c→a unpaired. (Exactly Fig. 4.)
+  const std::vector<GidEdge> edges = {
+      {0, 1, EdgeKind::kGeneric},  // a→b
+      {1, 0, EdgeKind::kGeneric},  // b→a
+      {2, 0, EdgeKind::kGeneric},  // c→a (no ack)
+  };
+  const UnifiedGraph g = UnifiedGraph::from_edges(3, edges);
+  FaultyRankConfig config;
+  config.max_iterations = 1;
+  config.epsilon = 1e-12;
+  const FaultyRankResult r = run_faultyrank(g, config);
+
+  // After pass 1 (init prop = 1): id_a = 1 (from b) + 1 (from c) + sink
+  // share 0 = 2; id_b = 1 from a; id_c = 0.
+  EXPECT_NEAR(r.id_rank[0], 2.0, 1e-12);
+  EXPECT_NEAR(r.id_rank[1], 1.0, 1e-12);
+  EXPECT_NEAR(r.id_rank[2], 0.0, 1e-12);
+
+  // Pass 2: a distributes id_a over reversed out-edges to b (w=1) and c
+  // (w=0.1): b gets 2·(10/11), c gets 2·(1/11). b sends id_b to a.
+  // c is a reversed sink (no in-edges in G): spreads id_c = 0.
+  EXPECT_NEAR(r.prop_rank[1], 2.0 * 10.0 / 11.0, 1e-12);
+  EXPECT_NEAR(r.prop_rank[2], 2.0 / 11.0, 1e-12);
+  EXPECT_NEAR(r.prop_rank[0], 1.0, 1e-12);
+}
+
+TEST(FaultyRankTest, UnpairedWeightOneRemovesPenalty) {
+  const std::vector<GidEdge> edges = {
+      {0, 1, EdgeKind::kGeneric},
+      {1, 0, EdgeKind::kGeneric},
+      {2, 0, EdgeKind::kGeneric},
+  };
+  const UnifiedGraph g = UnifiedGraph::from_edges(3, edges);
+  FaultyRankConfig config;
+  config.max_iterations = 1;
+  config.epsilon = 1e-12;
+  config.unpaired_weight = 1.0;
+  const FaultyRankResult r = run_faultyrank(g, config);
+  // Equal split: b and c each get id_a/2.
+  EXPECT_NEAR(r.prop_rank[1], 1.0, 1e-12);
+  EXPECT_NEAR(r.prop_rank[2], 1.0, 1e-12);
+}
+
+TEST(FaultyRankTest, SinkMassIsRedistributedUniformly) {
+  // Single edge 0→1; vertex 1 is a sink in G.
+  const std::vector<GidEdge> edges = {{0, 1, EdgeKind::kGeneric}};
+  const UnifiedGraph g = UnifiedGraph::from_edges(2, edges);
+  FaultyRankConfig config;
+  config.max_iterations = 1;
+  config.epsilon = 1e-12;
+  const FaultyRankResult r = run_faultyrank(g, config);
+  // Pass 1: sink share = prop[1]/2 = 0.5 to each; vertex 1 also gets
+  // prop[0]/1 = 1. id = [0.5, 1.5].
+  EXPECT_NEAR(r.id_rank[0], 0.5, 1e-12);
+  EXPECT_NEAR(r.id_rank[1], 1.5, 1e-12);
+  EXPECT_NEAR(sum(r.id_rank), 2.0, 1e-12);
+}
+
+TEST(FaultyRankTest, ConvergesWithinIterationCap) {
+  const GeneratedGraph gen = generate_rmat({.scale = 12, .avg_degree = 8});
+  const UnifiedGraph g =
+      UnifiedGraph::from_edges(gen.vertex_count, gen.edges);
+  FaultyRankConfig config;
+  config.diff_norm = DiffNorm::kL1Mean;
+  config.epsilon = 1e-6;
+  const FaultyRankResult r = run_faultyrank(g, config);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, config.max_iterations);
+  EXPECT_GE(r.iterations, 2u);
+}
+
+TEST(FaultyRankTest, DiffNormsAllConvergeToSameFixpoint) {
+  const UnifiedGraph g = make_fig3_graph();
+  FaultyRankConfig l1;
+  l1.epsilon = 1e-10;
+  FaultyRankConfig linf = l1;
+  linf.diff_norm = DiffNorm::kLInf;
+  FaultyRankConfig l1m = l1;
+  l1m.diff_norm = DiffNorm::kL1Mean;
+  const auto r1 = run_faultyrank(g, l1);
+  const auto r2 = run_faultyrank(g, linf);
+  const auto r3 = run_faultyrank(g, l1m);
+  for (Gid v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_NEAR(r1.id_rank[v], r2.id_rank[v], 1e-6);
+    EXPECT_NEAR(r1.id_rank[v], r3.id_rank[v], 1e-6);
+  }
+}
+
+TEST(FaultyRankTest, ParallelMatchesSerial) {
+  const GeneratedGraph gen = generate_rmat({.scale = 11, .avg_degree = 6});
+  const UnifiedGraph g =
+      UnifiedGraph::from_edges(gen.vertex_count, gen.edges);
+  FaultyRankConfig config;
+  config.max_iterations = 10;
+  config.epsilon = 1e-12;
+  const FaultyRankResult serial = run_faultyrank(g, config, nullptr);
+  ThreadPool pool(4);
+  const FaultyRankResult parallel = run_faultyrank(g, config, &pool);
+  ASSERT_EQ(serial.id_rank.size(), parallel.id_rank.size());
+  for (std::size_t v = 0; v < serial.id_rank.size(); ++v) {
+    EXPECT_NEAR(serial.id_rank[v], parallel.id_rank[v], 1e-9);
+    EXPECT_NEAR(serial.prop_rank[v], parallel.prop_rank[v], 1e-9);
+  }
+}
+
+TEST(FaultyRankTest, InitialRankScalesLinearly) {
+  const UnifiedGraph g = make_fig3_graph();
+  FaultyRankConfig unit;
+  unit.max_iterations = 5;
+  unit.epsilon = 1e-12;
+  FaultyRankConfig scaled = unit;
+  scaled.initial_rank = 0.25;
+  const auto r1 = run_faultyrank(g, unit);
+  const auto r2 = run_faultyrank(g, scaled);
+  for (Gid v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_NEAR(r1.id_rank[v] * 0.25, r2.id_rank[v], 1e-9);
+    // Mean-normalized ranks are invariant to the initialization.
+    EXPECT_NEAR(r1.normalized_id_rank(v), r2.normalized_id_rank(v), 1e-9);
+  }
+}
+
+// Property sweep: mass conservation and normalized-rank positivity on
+// random graphs of varied shape.
+class FaultyRankPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(FaultyRankPropertyTest, InvariantsOnRandomGraphs) {
+  Rng rng(GetParam());
+  const std::size_t n = 2 + rng.below(300);
+  const std::size_t m = rng.below(6 * n);
+  std::vector<GidEdge> edges;
+  for (std::size_t i = 0; i < m; ++i) {
+    edges.push_back({static_cast<Gid>(rng.below(n)),
+                     static_cast<Gid>(rng.below(n)), EdgeKind::kGeneric});
+  }
+  const UnifiedGraph g = UnifiedGraph::from_edges(n, edges);
+  const FaultyRankResult r = run_faultyrank(g);
+  EXPECT_NEAR(sum(r.id_rank), static_cast<double>(n), n * 1e-9);
+  EXPECT_NEAR(sum(r.prop_rank), static_cast<double>(n), n * 1e-9);
+  for (std::size_t v = 0; v < n; ++v) {
+    EXPECT_GE(r.id_rank[v], 0.0);
+    EXPECT_GE(r.prop_rank[v], 0.0);
+    EXPECT_TRUE(std::isfinite(r.id_rank[v]));
+    EXPECT_TRUE(std::isfinite(r.prop_rank[v]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, FaultyRankPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808));
+
+
+// ---- Per-property separation (paper §VIII future work) ----
+
+TEST(FaultyRankTest, PropertySplitDisabledByDefault) {
+  const UnifiedGraph g = make_fig3_graph();
+  const FaultyRankResult r = run_faultyrank(g);
+  EXPECT_TRUE(r.prop_rank_by_kind.empty());
+}
+
+TEST(FaultyRankTest, PropertySplitSumsBackToAggregate) {
+  const UnifiedGraph g = make_fig3_graph();
+  FaultyRankConfig config;
+  config.epsilon = 1e-3;
+  config.separate_properties = true;
+  const FaultyRankResult r = run_faultyrank(g, config);
+  ASSERT_EQ(r.prop_rank_by_kind.size(), kEdgeKindCount);
+
+  // The reversed-pass sink share is uniform: recover it from a vertex
+  // with no out-edges at all (object c in Fig. 3 — its LinkEA is gone).
+  const Gid c = g.vertices().lookup(Fid{0x200000400, 3, 0});
+  double c_kinds = 0.0;
+  for (const auto& per_kind : r.prop_rank_by_kind) c_kinds += per_kind[c];
+  EXPECT_NEAR(c_kinds, 0.0, 1e-12);
+  const double sink_share = r.prop_rank[c];
+
+  for (Gid v = 0; v < g.vertex_count(); ++v) {
+    double total = sink_share;
+    for (const auto& per_kind : r.prop_rank_by_kind) total += per_kind[v];
+    EXPECT_NEAR(total, r.prop_rank[v], 1e-9) << "vertex " << v;
+  }
+}
+
+TEST(FaultyRankTest, PropertySplitIsolatesTheCorruptKind) {
+  // A directory with healthy LinkEA but wiped DIRENT entries: the
+  // aggregate prop_rank blends both; the split pins the damage on the
+  // DIRENT kind specifically.
+  const Fid root{1, 100, 0}, dir{1, 1, 0}, c1{1, 2, 0}, c2{1, 3, 0};
+  PartialGraph p;
+  p.server = "mds0";
+  p.add_vertex(root, ObjectKind::kDirectory);
+  p.add_vertex(dir, ObjectKind::kDirectory);
+  p.add_vertex(c1, ObjectKind::kFile);
+  p.add_vertex(c2, ObjectKind::kFile);
+  p.add_edge(root, dir, EdgeKind::kDirent);
+  p.add_edge(dir, root, EdgeKind::kLinkEa);   // healthy, paired
+  // dir's DIRENT entries for c1/c2 wiped:
+  p.add_edge(c1, dir, EdgeKind::kLinkEa);     // unanswered
+  p.add_edge(c2, dir, EdgeKind::kLinkEa);     // unanswered
+  const PartialGraph partials[] = {p};
+  const UnifiedGraph g = UnifiedGraph::aggregate(partials);
+
+  FaultyRankConfig config;
+  config.epsilon = 1e-3;
+  config.separate_properties = true;
+  const FaultyRankResult r = run_faultyrank(g, config);
+  const Gid dir_gid = g.vertices().lookup(dir);
+  const double link_part = r.prop_rank_by_kind[static_cast<std::size_t>(
+      EdgeKind::kLinkEa)][dir_gid];
+  const double dirent_part = r.prop_rank_by_kind[static_cast<std::size_t>(
+      EdgeKind::kDirent)][dir_gid];
+  EXPECT_GT(link_part, 0.0);            // the LinkEA still earns credit
+  EXPECT_DOUBLE_EQ(dirent_part, 0.0);   // the DIRENT side earns none
+}
+
+}  // namespace
+}  // namespace faultyrank

@@ -1,0 +1,130 @@
+// Closed-form rank checks on pathological topologies: stars, chains,
+// cycles, cliques — the shapes where degree effects, sinks, and
+// periodicity stress the iteration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/faultyrank.h"
+
+namespace faultyrank {
+namespace {
+
+UnifiedGraph graph_of(std::size_t n, std::vector<GidEdge> edges) {
+  return UnifiedGraph::from_edges(n, edges);
+}
+
+FaultyRankConfig tight() {
+  FaultyRankConfig config;
+  config.epsilon = 1e-10;
+  config.max_iterations = 500;
+  return config;
+}
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(RankTopologyTest, SingleVertexKeepsItsMass) {
+  const UnifiedGraph g = graph_of(1, {});
+  const FaultyRankResult r = run_faultyrank(g, tight());
+  // Sink redistribution hands the lone vertex its own mass back.
+  EXPECT_NEAR(r.id_rank[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.prop_rank[0], 1.0, 1e-9);
+}
+
+TEST(RankTopologyTest, TwoCycleIsSymmetricFixpoint) {
+  const UnifiedGraph g = graph_of(2, {{0, 1, EdgeKind::kGeneric},
+                                      {1, 0, EdgeKind::kGeneric}});
+  const FaultyRankResult r = run_faultyrank(g, tight());
+  EXPECT_NEAR(r.id_rank[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.id_rank[1], 1.0, 1e-9);
+  EXPECT_NEAR(r.prop_rank[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.prop_rank[1], 1.0, 1e-9);
+}
+
+TEST(RankTopologyTest, PairedStarConcentratesIdMassOnHub) {
+  // Hub 0 paired with leaves 1..k: hub's id is endorsed k times (each
+  // leaf's whole property mass), leaves' ids only by the hub's split.
+  constexpr std::size_t kLeaves = 8;
+  std::vector<GidEdge> edges;
+  for (Gid leaf = 1; leaf <= kLeaves; ++leaf) {
+    edges.push_back({0, leaf, EdgeKind::kGeneric});
+    edges.push_back({leaf, 0, EdgeKind::kGeneric});
+  }
+  const UnifiedGraph g = graph_of(kLeaves + 1, edges);
+  const FaultyRankResult r = run_faultyrank(g, tight());
+  for (Gid leaf = 1; leaf <= kLeaves; ++leaf) {
+    EXPECT_GT(r.id_rank[0], 3 * r.id_rank[leaf]);
+    // All leaves are symmetric.
+    EXPECT_NEAR(r.id_rank[leaf], r.id_rank[1], 1e-9);
+    EXPECT_NEAR(r.prop_rank[leaf], r.prop_rank[1], 1e-9);
+  }
+  EXPECT_NEAR(sum(r.id_rank), kLeaves + 1.0, 1e-6);
+}
+
+TEST(RankTopologyTest, DirectedChainDrainsToTheTail) {
+  // 0→1→2→3 with no point-backs: every edge is unpaired; the head gets
+  // id credit from nobody (sink share only).
+  const UnifiedGraph g = graph_of(4, {{0, 1, EdgeKind::kGeneric},
+                                      {1, 2, EdgeKind::kGeneric},
+                                      {2, 3, EdgeKind::kGeneric}});
+  FaultyRankConfig config = tight();
+  const FaultyRankResult r = run_faultyrank(g, config);
+  EXPECT_LT(r.id_rank[0], r.id_rank[3]);
+  EXPECT_NEAR(sum(r.id_rank), 4.0, 1e-6);
+  EXPECT_NEAR(sum(r.prop_rank), 4.0, 1e-6);
+}
+
+TEST(RankTopologyTest, FullyPairedCliqueIsUniform) {
+  constexpr std::size_t kN = 6;
+  std::vector<GidEdge> edges;
+  for (Gid u = 0; u < kN; ++u) {
+    for (Gid v = 0; v < kN; ++v) {
+      if (u != v) edges.push_back({u, v, EdgeKind::kGeneric});
+    }
+  }
+  const UnifiedGraph g = graph_of(kN, edges);
+  const FaultyRankResult r = run_faultyrank(g, tight());
+  for (Gid v = 0; v < kN; ++v) {
+    EXPECT_NEAR(r.id_rank[v], 1.0, 1e-9);
+    EXPECT_NEAR(r.prop_rank[v], 1.0, 1e-9);
+  }
+}
+
+TEST(RankTopologyTest, SelfLoopIsItsOwnPairing) {
+  // A self-loop u→u is trivially "paired" (the reverse edge is itself).
+  const UnifiedGraph g = graph_of(2, {{0, 0, EdgeKind::kGeneric},
+                                      {1, 0, EdgeKind::kGeneric}});
+  const FaultyRankResult r = run_faultyrank(g, tight());
+  EXPECT_TRUE(std::isfinite(r.id_rank[0]));
+  EXPECT_TRUE(std::isfinite(r.prop_rank[0]));
+  EXPECT_NEAR(sum(r.id_rank), 2.0, 1e-6);
+}
+
+TEST(RankTopologyTest, DisconnectedComponentsDoNotStarve) {
+  // Two independent paired pairs: each keeps its own mass.
+  const UnifiedGraph g = graph_of(4, {{0, 1, EdgeKind::kGeneric},
+                                      {1, 0, EdgeKind::kGeneric},
+                                      {2, 3, EdgeKind::kGeneric},
+                                      {3, 2, EdgeKind::kGeneric}});
+  const FaultyRankResult r = run_faultyrank(g, tight());
+  for (Gid v = 0; v < 4; ++v) {
+    EXPECT_NEAR(r.id_rank[v], 1.0, 1e-9) << "vertex " << v;
+  }
+}
+
+TEST(RankTopologyTest, AllSinksGraphStaysUniform) {
+  // No edges at all: every vertex is a sink; redistribution keeps the
+  // uniform distribution as the exact fixpoint.
+  const UnifiedGraph g = graph_of(5, {});
+  const FaultyRankResult r = run_faultyrank(g, tight());
+  for (Gid v = 0; v < 5; ++v) {
+    EXPECT_NEAR(r.id_rank[v], 1.0, 1e-9);
+    EXPECT_NEAR(r.prop_rank[v], 1.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace faultyrank

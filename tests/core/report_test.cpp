@@ -1,0 +1,72 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace faultyrank {
+namespace {
+
+DetectionReport fig3_report() {
+  const UnifiedGraph g = testing::make_fig3_graph();
+  FaultyRankConfig config;
+  config.epsilon = 1e-3;
+  return detect_inconsistencies(g, run_faultyrank(g, config));
+}
+
+TEST(ReportTest, ConsistentTextIsOneLiner) {
+  const DetectionReport empty;
+  EXPECT_EQ(render_text(empty), "filesystem is consistent: no findings\n");
+}
+
+TEST(ReportTest, TextListsEveryFindingWithEvidence) {
+  const DetectionReport report = fig3_report();
+  const std::string text = render_text(report);
+  EXPECT_NE(text.find("finding(s):"), std::string::npos);
+  EXPECT_NE(text.find("culprit: target.property"), std::string::npos);
+  EXPECT_NE(text.find("repair:  add-back-pointer"), std::string::npos);
+  EXPECT_NE(text.find("ranks:"), std::string::npos);
+  // One block per finding.
+  std::size_t blocks = 0;
+  for (std::size_t pos = text.find("\n["); pos != std::string::npos;
+       pos = text.find("\n[", pos + 1)) {
+    ++blocks;
+  }
+  EXPECT_EQ(blocks, report.findings.size());
+}
+
+TEST(ReportTest, JsonIsStructurallySound) {
+  const DetectionReport report = fig3_report();
+  const std::string json = render_json(report);
+  // Braces and brackets balance.
+  int braces = 0;
+  int brackets = 0;
+  for (const char ch : json) {
+    braces += (ch == '{') - (ch == '}');
+    brackets += (ch == '[') - (ch == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_NE(json.find("\"consistent\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"finding_count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"categories\""), std::string::npos);
+  EXPECT_NE(json.find("\"repair\""), std::string::npos);
+}
+
+TEST(ReportTest, JsonForConsistentReport) {
+  const DetectionReport empty;
+  const std::string json = render_json(empty);
+  EXPECT_NE(json.find("\"consistent\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"finding_count\": 0"), std::string::npos);
+}
+
+TEST(ReportTest, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+}  // namespace
+}  // namespace faultyrank

@@ -1,0 +1,60 @@
+// Large randomized campaign asserting detector quality bounds across
+// many seeds: every injected fault recalled, conviction precision above
+// a floor, and repairs never regress a cluster.
+#include <gtest/gtest.h>
+
+#include "checker/checker.h"
+#include "faults/injector.h"
+#include "testing/fixtures.h"
+
+namespace faultyrank {
+namespace {
+
+class CampaignPrecisionTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(CampaignPrecisionTest, RecallIsTotalAndRepairsConverge) {
+  LustreCluster cluster = testing::make_populated_cluster(350, GetParam());
+  FaultInjector injector(cluster, GetParam() * 17 + 3);
+  const std::vector<GroundTruth> truths = injector.inject_campaign(6);
+
+  CheckerConfig config;
+  config.apply_repairs = true;
+  config.verify_after_repair = true;
+  const CheckerResult result = run_checker(cluster, config);
+
+  // Recall: every injected fault shows up in the report.
+  for (const GroundTruth& truth : truths) {
+    EXPECT_TRUE(evaluate_report(result.report, truth).detected)
+        << to_string(truth.scenario);
+  }
+  // Precision floor: every finding involves at least one injected
+  // victim as an endpoint (convictions of a victim's stranded
+  // counterpart are acceptable in ambiguous records — the repair plan
+  // reconciles them — but findings about completely unrelated, healthy
+  // regions would be false positives).
+  for (const Finding& finding : result.report.findings) {
+    bool involves_a_victim = false;
+    for (const GroundTruth& truth : truths) {
+      for (const Fid& fid : {truth.victim, truth.current}) {
+        if (finding.convicted_object == fid || finding.source == fid ||
+            finding.target == fid || finding.repair.target == fid ||
+            finding.repair.value == fid) {
+          involves_a_victim = true;
+        }
+      }
+    }
+    EXPECT_TRUE(involves_a_victim)
+        << "finding about unrelated object: convicted="
+        << finding.convicted_object.to_string() << " source="
+        << finding.source.to_string() << " target="
+        << finding.target.to_string() << " (" << finding.note << ")";
+  }
+  EXPECT_TRUE(result.verified_consistent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CampaignPrecisionTest,
+                         ::testing::Values(901, 902, 903, 904, 905, 906));
+
+}  // namespace
+}  // namespace faultyrank

@@ -1,0 +1,123 @@
+#include "graph/unified_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace faultyrank {
+namespace {
+
+using testing::Fig3Fids;
+using testing::make_fig3_consistent_graph;
+using testing::make_fig3_graph;
+
+TEST(UnifiedGraphTest, AggregatesFig3Example) {
+  const UnifiedGraph g = make_fig3_graph();
+  EXPECT_EQ(g.vertex_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 4u);
+}
+
+TEST(UnifiedGraphTest, PairingOnFig3Example) {
+  const UnifiedGraph g = make_fig3_graph();
+  const Fig3Fids fids;
+  const Gid a = g.vertices().lookup(fids.a);
+  const Gid b = g.vertices().lookup(fids.b);
+  const Gid c = g.vertices().lookup(fids.c);
+  const Gid d = g.vertices().lookup(fids.d);
+  ASSERT_NE(a, kInvalidGid);
+  ASSERT_NE(d, kInvalidGid);
+
+  // a↔b paired both ways; a→c unpaired; d→b unpaired.
+  EXPECT_EQ(g.paired_in_degree(b), 1u);   // from a (paired)
+  EXPECT_EQ(g.unpaired_in_degree(b), 1u); // from d
+  EXPECT_EQ(g.paired_in_degree(a), 1u);   // from b
+  EXPECT_EQ(g.unpaired_in_degree(a), 0u);
+  EXPECT_EQ(g.paired_in_degree(c), 0u);
+  EXPECT_EQ(g.unpaired_in_degree(c), 1u); // from a
+  EXPECT_EQ(g.paired_in_degree(d), 0u);
+  EXPECT_EQ(g.unpaired_in_degree(d), 0u);
+
+  ASSERT_EQ(g.unpaired_edges().size(), 2u);
+}
+
+TEST(UnifiedGraphTest, ConsistentGraphHasNoUnpairedEdges) {
+  const UnifiedGraph g = make_fig3_consistent_graph();
+  EXPECT_TRUE(g.unpaired_edges().empty());
+  for (Gid v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_EQ(g.unpaired_in_degree(v), 0u);
+  }
+}
+
+TEST(UnifiedGraphTest, EdgeToUnknownFidCreatesPhantom) {
+  PartialGraph p;
+  p.server = "mds0";
+  p.add_vertex(Fid{1, 1, 0}, ObjectKind::kFile);
+  p.add_edge(Fid{1, 1, 0}, Fid{9, 9, 0}, EdgeKind::kLovEa);
+  const PartialGraph partials[] = {p};
+  const UnifiedGraph g = UnifiedGraph::aggregate(partials);
+  EXPECT_EQ(g.vertex_count(), 2u);
+  const Gid phantom = g.vertices().lookup(Fid{9, 9, 0});
+  ASSERT_NE(phantom, kInvalidGid);
+  EXPECT_FALSE(g.vertices().is_scanned(phantom));
+  EXPECT_EQ(g.vertices().kind_of(phantom), ObjectKind::kPhantom);
+  ASSERT_EQ(g.unpaired_edges().size(), 1u);
+  EXPECT_EQ(g.unpaired_edges()[0].dst, phantom);
+}
+
+TEST(UnifiedGraphTest, MergeAcrossServersDeduplicatesByFid) {
+  PartialGraph mds;
+  mds.server = "mds0";
+  mds.add_vertex(Fid{1, 1, 0}, ObjectKind::kFile);
+  mds.add_edge(Fid{1, 1, 0}, Fid{2, 1, 0}, EdgeKind::kLovEa);
+  PartialGraph oss;
+  oss.server = "oss0";
+  oss.add_vertex(Fid{2, 1, 0}, ObjectKind::kStripeObject);
+  oss.add_edge(Fid{2, 1, 0}, Fid{1, 1, 0}, EdgeKind::kObjParent);
+  const PartialGraph partials[] = {mds, oss};
+  const UnifiedGraph g = UnifiedGraph::aggregate(partials);
+  EXPECT_EQ(g.vertex_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.unpaired_edges().empty());
+}
+
+TEST(UnifiedGraphTest, FromEdgesBuildsGenericGraph) {
+  const std::vector<GidEdge> edges = {
+      {0, 1, EdgeKind::kGeneric},
+      {1, 0, EdgeKind::kGeneric},
+      {1, 2, EdgeKind::kGeneric},
+  };
+  const UnifiedGraph g = UnifiedGraph::from_edges(3, edges);
+  EXPECT_EQ(g.vertex_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  ASSERT_EQ(g.unpaired_edges().size(), 1u);
+  EXPECT_EQ(g.unpaired_edges()[0].src, 1u);
+  EXPECT_EQ(g.unpaired_edges()[0].dst, 2u);
+}
+
+TEST(UnifiedGraphTest, ReverseGraphTransposesForward) {
+  const UnifiedGraph g = make_fig3_graph();
+  const Csr& fwd = g.forward();
+  const Csr& rev = g.reverse();
+  EXPECT_EQ(fwd.edge_count(), rev.edge_count());
+  for (Gid u = 0; u < g.vertex_count(); ++u) {
+    for (auto slot = fwd.edges_begin(u); slot < fwd.edges_end(u); ++slot) {
+      EXPECT_TRUE(rev.has_edge(fwd.target(slot), u, fwd.kind(slot)));
+    }
+  }
+}
+
+TEST(UnifiedGraphTest, AggregationOrderIsDeterministic) {
+  const UnifiedGraph g1 = make_fig3_graph();
+  const UnifiedGraph g2 = make_fig3_graph();
+  ASSERT_EQ(g1.vertex_count(), g2.vertex_count());
+  for (Gid v = 0; v < g1.vertex_count(); ++v) {
+    EXPECT_EQ(g1.vertices().fid_of(v), g2.vertices().fid_of(v));
+  }
+}
+
+TEST(UnifiedGraphTest, BytesIsNonZeroForNonEmptyGraph) {
+  EXPECT_GT(make_fig3_graph().bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace faultyrank

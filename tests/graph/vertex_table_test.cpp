@@ -1,0 +1,77 @@
+#include "graph/vertex_table.h"
+
+#include <gtest/gtest.h>
+
+namespace faultyrank {
+namespace {
+
+TEST(VertexTableTest, InternAssignsDenseSequentialGids) {
+  VertexTable table;
+  EXPECT_EQ(table.intern_scanned(Fid{1, 1, 0}, ObjectKind::kDirectory), 0u);
+  EXPECT_EQ(table.intern_scanned(Fid{1, 2, 0}, ObjectKind::kFile), 1u);
+  EXPECT_EQ(table.intern_scanned(Fid{2, 1, 0}, ObjectKind::kStripeObject), 2u);
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(VertexTableTest, LookupFindsInternedAndRejectsUnknown) {
+  VertexTable table;
+  const Gid gid = table.intern_scanned(Fid{1, 1, 0}, ObjectKind::kFile);
+  EXPECT_EQ(table.lookup(Fid{1, 1, 0}), gid);
+  EXPECT_EQ(table.lookup(Fid{9, 9, 9}), kInvalidGid);
+}
+
+TEST(VertexTableTest, RemappingIsBijective) {
+  VertexTable table;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    table.intern_scanned(Fid{0x200000400, i + 1, 0}, ObjectKind::kFile);
+  }
+  for (Gid gid = 0; gid < 1000; ++gid) {
+    EXPECT_EQ(table.lookup(table.fid_of(gid)), gid);
+  }
+}
+
+TEST(VertexTableTest, ReferencedCreatesPhantom) {
+  VertexTable table;
+  const Gid gid = table.intern_referenced(Fid{1, 1, 0});
+  EXPECT_FALSE(table.is_scanned(gid));
+  EXPECT_EQ(table.kind_of(gid), ObjectKind::kPhantom);
+  EXPECT_EQ(table.scan_count(gid), 0u);
+}
+
+TEST(VertexTableTest, ScanUpgradesPhantom) {
+  VertexTable table;
+  const Gid phantom = table.intern_referenced(Fid{1, 1, 0});
+  const Gid upgraded = table.intern_scanned(Fid{1, 1, 0}, ObjectKind::kFile);
+  EXPECT_EQ(phantom, upgraded);
+  EXPECT_TRUE(table.is_scanned(upgraded));
+  EXPECT_EQ(table.kind_of(upgraded), ObjectKind::kFile);
+}
+
+TEST(VertexTableTest, ReferenceAfterScanKeepsScannedState) {
+  VertexTable table;
+  const Gid gid = table.intern_scanned(Fid{1, 1, 0}, ObjectKind::kDirectory);
+  EXPECT_EQ(table.intern_referenced(Fid{1, 1, 0}), gid);
+  EXPECT_TRUE(table.is_scanned(gid));
+  EXPECT_EQ(table.kind_of(gid), ObjectKind::kDirectory);
+}
+
+TEST(VertexTableTest, DuplicateScansCountIdCollisions) {
+  VertexTable table;
+  const Gid first = table.intern_scanned(Fid{1, 1, 0}, ObjectKind::kStripeObject);
+  const Gid second =
+      table.intern_scanned(Fid{1, 1, 0}, ObjectKind::kStripeObject);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(table.scan_count(first), 2u);
+}
+
+TEST(VertexTableTest, BytesGrowsWithContent) {
+  VertexTable table;
+  const auto empty = table.bytes();
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    table.intern_scanned(Fid{1, i + 1, 0}, ObjectKind::kFile);
+  }
+  EXPECT_GT(table.bytes(), empty);
+}
+
+}  // namespace
+}  // namespace faultyrank

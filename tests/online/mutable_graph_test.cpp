@@ -1,0 +1,104 @@
+#include "online/mutable_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace faultyrank {
+namespace {
+
+TEST(MutableGraphTest, UpsertAndCounts) {
+  MutableMetadataGraph graph;
+  graph.upsert_vertex(Fid{1, 1, 0}, ObjectKind::kDirectory);
+  graph.upsert_vertex(Fid{1, 2, 0}, ObjectKind::kFile);
+  graph.upsert_vertex(Fid{1, 2, 0}, ObjectKind::kFile);  // idempotent
+  EXPECT_EQ(graph.vertex_count(), 2u);
+  EXPECT_TRUE(graph.contains(Fid{1, 1, 0}));
+  EXPECT_FALSE(graph.contains(Fid{9, 9, 0}));
+}
+
+TEST(MutableGraphTest, EdgesTrackAddAndRemove) {
+  MutableMetadataGraph graph;
+  graph.upsert_vertex(Fid{1, 1, 0}, ObjectKind::kDirectory);
+  graph.upsert_vertex(Fid{1, 2, 0}, ObjectKind::kFile);
+  graph.add_edge(Fid{1, 1, 0}, Fid{1, 2, 0}, EdgeKind::kDirent);
+  graph.add_edge(Fid{1, 2, 0}, Fid{1, 1, 0}, EdgeKind::kLinkEa);
+  EXPECT_EQ(graph.edge_count(), 2u);
+  EXPECT_TRUE(graph.remove_edge(Fid{1, 1, 0}, Fid{1, 2, 0}, EdgeKind::kDirent));
+  EXPECT_EQ(graph.edge_count(), 1u);
+  EXPECT_FALSE(
+      graph.remove_edge(Fid{1, 1, 0}, Fid{1, 2, 0}, EdgeKind::kDirent));
+}
+
+TEST(MutableGraphTest, AddEdgeFromUnknownSourceThrows) {
+  MutableMetadataGraph graph;
+  EXPECT_THROW(graph.add_edge(Fid{1, 1, 0}, Fid{1, 2, 0}, EdgeKind::kDirent),
+               std::invalid_argument);
+}
+
+TEST(MutableGraphTest, RemoveVertexDropsItsOutEdges) {
+  MutableMetadataGraph graph;
+  graph.upsert_vertex(Fid{1, 1, 0}, ObjectKind::kFile);
+  graph.add_edge(Fid{1, 1, 0}, Fid{2, 1, 0}, EdgeKind::kLovEa);
+  graph.add_edge(Fid{1, 1, 0}, Fid{2, 2, 0}, EdgeKind::kLovEa);
+  EXPECT_TRUE(graph.remove_vertex(Fid{1, 1, 0}));
+  EXPECT_EQ(graph.vertex_count(), 0u);
+  EXPECT_EQ(graph.edge_count(), 0u);
+  EXPECT_FALSE(graph.remove_vertex(Fid{1, 1, 0}));
+}
+
+TEST(MutableGraphTest, ReinsertAfterRemoveStartsClean) {
+  MutableMetadataGraph graph;
+  graph.upsert_vertex(Fid{1, 1, 0}, ObjectKind::kFile);
+  graph.add_edge(Fid{1, 1, 0}, Fid{2, 1, 0}, EdgeKind::kLovEa);
+  graph.remove_vertex(Fid{1, 1, 0});
+  graph.upsert_vertex(Fid{1, 1, 0}, ObjectKind::kDirectory);
+  EXPECT_EQ(graph.vertex_count(), 1u);
+  EXPECT_EQ(graph.edge_count(), 0u);
+}
+
+TEST(MutableGraphTest, ReplaceObjectSwapsEdgeSet) {
+  MutableMetadataGraph graph;
+  graph.upsert_vertex(Fid{1, 1, 0}, ObjectKind::kFile);
+  graph.add_edge(Fid{1, 1, 0}, Fid{2, 1, 0}, EdgeKind::kLovEa);
+  graph.replace_object(Fid{1, 1, 0}, ObjectKind::kFile,
+                       {{Fid{2, 2, 0}, EdgeKind::kLovEa},
+                        {Fid{3, 1, 0}, EdgeKind::kLinkEa}});
+  EXPECT_EQ(graph.edge_count(), 2u);
+}
+
+TEST(MutableGraphTest, FreezeProducesConsistentSnapshot) {
+  MutableMetadataGraph graph;
+  graph.upsert_vertex(Fid{1, 1, 0}, ObjectKind::kDirectory);
+  graph.upsert_vertex(Fid{1, 2, 0}, ObjectKind::kFile);
+  graph.add_edge(Fid{1, 1, 0}, Fid{1, 2, 0}, EdgeKind::kDirent);
+  graph.add_edge(Fid{1, 2, 0}, Fid{1, 1, 0}, EdgeKind::kLinkEa);
+  const UnifiedGraph snapshot = graph.freeze();
+  EXPECT_EQ(snapshot.vertex_count(), 2u);
+  EXPECT_EQ(snapshot.edge_count(), 2u);
+  EXPECT_TRUE(snapshot.unpaired_edges().empty());
+}
+
+TEST(MutableGraphTest, FreezeMaterializesPhantoms) {
+  MutableMetadataGraph graph;
+  graph.upsert_vertex(Fid{1, 1, 0}, ObjectKind::kFile);
+  graph.add_edge(Fid{1, 1, 0}, Fid{9, 9, 0}, EdgeKind::kLovEa);
+  const UnifiedGraph snapshot = graph.freeze();
+  EXPECT_EQ(snapshot.vertex_count(), 2u);
+  const Gid phantom = snapshot.vertices().lookup(Fid{9, 9, 0});
+  ASSERT_NE(phantom, kInvalidGid);
+  EXPECT_FALSE(snapshot.vertices().is_scanned(phantom));
+}
+
+TEST(MutableGraphTest, TombstonesKeepFreezeOrderStable) {
+  MutableMetadataGraph a;
+  a.upsert_vertex(Fid{1, 1, 0}, ObjectKind::kFile);
+  a.upsert_vertex(Fid{1, 2, 0}, ObjectKind::kFile);
+  a.upsert_vertex(Fid{1, 3, 0}, ObjectKind::kFile);
+  a.remove_vertex(Fid{1, 2, 0});
+  const UnifiedGraph snapshot = a.freeze();
+  ASSERT_EQ(snapshot.vertex_count(), 2u);
+  EXPECT_EQ(snapshot.vertices().fid_of(0), (Fid{1, 1, 0}));
+  EXPECT_EQ(snapshot.vertices().fid_of(1), (Fid{1, 3, 0}));
+}
+
+}  // namespace
+}  // namespace faultyrank

@@ -1,0 +1,245 @@
+#include "online/online_checker.h"
+
+#include <gtest/gtest.h>
+
+#include "aggregator/aggregator.h"
+#include "faults/injector.h"
+#include "scanner/scanner.h"
+#include "testing/fixtures.h"
+
+namespace faultyrank {
+namespace {
+
+TEST(OnlineCheckerTest, BootstrapMatchesOfflineScan) {
+  LustreCluster cluster = testing::make_populated_cluster(150, 61);
+  ChangeLog log;
+  cluster.attach_changelog(&log);
+
+  OnlineChecker checker(cluster);
+  checker.bootstrap();
+  const UnifiedGraph online = checker.graph().freeze();
+
+  const AggregationResult offline = aggregate(scan_cluster(cluster).results);
+  EXPECT_EQ(online.vertex_count(), offline.graph.vertex_count());
+  EXPECT_EQ(online.edge_count(), offline.graph.edge_count());
+  EXPECT_EQ(online.unpaired_edges().size(),
+            offline.graph.unpaired_edges().size());
+}
+
+TEST(OnlineCheckerTest, CatchUpTracksNamespaceChurn) {
+  LustreCluster cluster = testing::make_populated_cluster(100, 62);
+  ChangeLog log;
+  cluster.attach_changelog(&log);
+  OnlineChecker checker(cluster);
+  checker.bootstrap();
+
+  const Fid dir = cluster.mkdir(cluster.root(), "new_dir");
+  const Fid file = cluster.create_file(dir, "new_file", 3 * 64 * 1024);
+  EXPECT_EQ(checker.catch_up(), 2u);
+  EXPECT_TRUE(checker.graph().contains(dir));
+  EXPECT_TRUE(checker.graph().contains(file));
+
+  // The online graph must agree with a fresh offline scan, healthily.
+  const UnifiedGraph snapshot = checker.graph().freeze();
+  const AggregationResult offline = aggregate(scan_cluster(cluster).results);
+  EXPECT_EQ(snapshot.vertex_count(), offline.graph.vertex_count());
+  EXPECT_EQ(snapshot.edge_count(), offline.graph.edge_count());
+  EXPECT_TRUE(snapshot.unpaired_edges().empty());
+}
+
+TEST(OnlineCheckerTest, CatchUpTracksUnlink) {
+  LustreCluster cluster(4, StripePolicy{64 * 1024, -1});
+  ChangeLog log;
+  cluster.attach_changelog(&log);
+  const Fid file = cluster.create_file(cluster.root(), "gone", 2 * 64 * 1024);
+  OnlineChecker checker(cluster);
+  checker.bootstrap();
+
+  cluster.unlink(cluster.root(), "gone");
+  EXPECT_EQ(checker.catch_up(), 1u);
+  EXPECT_FALSE(checker.graph().contains(file));
+  EXPECT_TRUE(checker.check().report.consistent());
+}
+
+TEST(OnlineCheckerTest, CatchUpIsIdempotent) {
+  LustreCluster cluster = testing::make_populated_cluster(50, 63);
+  ChangeLog log;
+  cluster.attach_changelog(&log);
+  OnlineChecker checker(cluster);
+  checker.bootstrap();
+  cluster.mkdir(cluster.root(), "x");
+  EXPECT_EQ(checker.catch_up(), 1u);
+  EXPECT_EQ(checker.catch_up(), 0u);
+}
+
+TEST(OnlineCheckerTest, HealthyClusterChecksConsistentUnderChurn) {
+  LustreCluster cluster = testing::make_populated_cluster(100, 64);
+  ChangeLog log;
+  cluster.attach_changelog(&log);
+  OnlineChecker checker(cluster);
+  checker.bootstrap();
+
+  for (int round = 0; round < 5; ++round) {
+    const Fid dir =
+        cluster.mkdir(cluster.root(), "round" + std::to_string(round));
+    for (int i = 0; i < 10; ++i) {
+      cluster.create_file(dir, "f" + std::to_string(i), 100 * 1024);
+    }
+    checker.catch_up();
+    const OnlineCheckResult result = checker.check();
+    EXPECT_TRUE(result.report.consistent()) << "round " << round;
+  }
+}
+
+TEST(OnlineCheckerTest, ScrubSurfacesRawCorruption) {
+  LustreCluster cluster = testing::make_populated_cluster(100, 65);
+  ChangeLog log;
+  cluster.attach_changelog(&log);
+  OnlineChecker checker(cluster);
+  checker.bootstrap();
+  EXPECT_TRUE(checker.check().report.consistent());
+
+  // Raw corruption: invisible to the changelog…
+  FaultInjector injector(cluster, 6565);
+  const GroundTruth truth = injector.inject(Scenario::kMismatchTargetProperty);
+  checker.catch_up();
+  EXPECT_TRUE(checker.check().report.consistent());  // …until scrubbed.
+
+  checker.full_scrub();
+  const OnlineCheckResult result = checker.check();
+  EXPECT_FALSE(result.report.consistent());
+  const EvalOutcome outcome = evaluate_report(result.report, truth);
+  EXPECT_TRUE(outcome.detected);
+  EXPECT_TRUE(outcome.root_cause_identified);
+}
+
+TEST(OnlineCheckerTest, ScrubHandlesIdCorruption) {
+  LustreCluster cluster = testing::make_populated_cluster(100, 66);
+  ChangeLog log;
+  cluster.attach_changelog(&log);
+  OnlineChecker checker(cluster);
+  checker.bootstrap();
+
+  FaultInjector injector(cluster, 6666);
+  const GroundTruth truth = injector.inject(Scenario::kDanglingTargetId);
+  checker.full_scrub();
+
+  // The stale identity is retired and the corrupt one stands alone.
+  EXPECT_FALSE(checker.graph().contains(truth.victim));
+  EXPECT_TRUE(checker.graph().contains(truth.current));
+  const OnlineCheckResult result = checker.check();
+  const EvalOutcome outcome = evaluate_report(result.report, truth);
+  EXPECT_TRUE(outcome.root_cause_identified);
+}
+
+TEST(OnlineCheckerTest, ScrubStepRespectsBatchBudget) {
+  LustreCluster cluster = testing::make_populated_cluster(200, 67);
+  ChangeLog log;
+  cluster.attach_changelog(&log);
+  OnlineCheckerConfig config;
+  config.scrub_batch = 32;
+  OnlineChecker checker(cluster, config);
+  checker.bootstrap();
+  // Each step refreshes at most the batch budget of inodes.
+  EXPECT_LE(checker.scrub_step(), 32u);
+}
+
+TEST(OnlineCheckerTest, ScrubEventuallyCoversEverything) {
+  LustreCluster cluster = testing::make_populated_cluster(60, 68);
+  ChangeLog log;
+  cluster.attach_changelog(&log);
+  OnlineCheckerConfig config;
+  config.scrub_batch = 16;
+  OnlineChecker checker(cluster, config);
+  checker.bootstrap();
+
+  FaultInjector injector(cluster, 6868);
+  const GroundTruth truth =
+      injector.inject(Scenario::kMismatchTargetProperty);
+
+  // Enough steps to sweep all servers at least once.
+  std::uint64_t total_slots = cluster.mdt().image.inode_slots();
+  for (const auto& ost : cluster.osts()) {
+    total_slots += ost.image.inode_slots();
+  }
+  const std::size_t steps =
+      static_cast<std::size_t>(total_slots / config.scrub_batch) + 10;
+  for (std::size_t i = 0; i < steps; ++i) checker.scrub_step();
+
+  const EvalOutcome outcome =
+      evaluate_report(checker.check().report, truth);
+  EXPECT_TRUE(outcome.detected);
+}
+
+TEST(OnlineCheckerTest, GrowthAfterBootstrapIsScrubbable) {
+  // Inodes allocated after bootstrap extend the tables; scrub must
+  // grow its shadow state rather than walk off the end.
+  LustreCluster cluster = testing::make_populated_cluster(30, 69);
+  ChangeLog log;
+  cluster.attach_changelog(&log);
+  OnlineChecker checker(cluster);
+  checker.bootstrap();
+  for (int i = 0; i < 50; ++i) {
+    cluster.create_file(cluster.root(), "late" + std::to_string(i),
+                        200 * 1024);
+  }
+  checker.catch_up();
+  checker.full_scrub();
+  EXPECT_TRUE(checker.check().report.consistent());
+}
+
+
+TEST(OnlineCheckerTest, WarmStartConvergesFasterAfterSmallChurn) {
+  LustreCluster cluster = testing::make_populated_cluster(300, 70);
+  ChangeLog log;
+  cluster.attach_changelog(&log);
+
+  OnlineCheckerConfig warm_config;
+  warm_config.rank.epsilon = 1e-3;  // tight enough that iterations differ
+  OnlineChecker warm(cluster, warm_config);
+  warm.bootstrap();
+  const std::size_t cold_iterations = warm.check().ranks.iterations;
+
+  cluster.create_file(cluster.root(), "one_more", 100 * 1024);
+  warm.catch_up();
+  const std::size_t warm_iterations = warm.check().ranks.iterations;
+  EXPECT_LT(warm_iterations, cold_iterations);
+}
+
+TEST(OnlineCheckerTest, WarmStartDoesNotChangeFindings) {
+  LustreCluster c1 = testing::make_populated_cluster(150, 71);
+  LustreCluster c2 = testing::make_populated_cluster(150, 71);
+  ChangeLog l1, l2;
+  c1.attach_changelog(&l1);
+  c2.attach_changelog(&l2);
+
+  OnlineCheckerConfig warm_config;
+  OnlineCheckerConfig cold_config;
+  cold_config.warm_start = false;
+  OnlineChecker warm(c1, warm_config);
+  OnlineChecker cold(c2, cold_config);
+  warm.bootstrap();
+  cold.bootstrap();
+  (void)warm.check();  // prime the warm-start cache
+  (void)cold.check();
+
+  FaultInjector i1(c1, 717);
+  FaultInjector i2(c2, 717);
+  i1.inject(Scenario::kMismatchTargetProperty);
+  i2.inject(Scenario::kMismatchTargetProperty);
+  warm.full_scrub();
+  cold.full_scrub();
+
+  const OnlineCheckResult a = warm.check();
+  const OnlineCheckResult b = cold.check();
+  ASSERT_EQ(a.report.findings.size(), b.report.findings.size());
+  for (std::size_t i = 0; i < a.report.findings.size(); ++i) {
+    EXPECT_EQ(a.report.findings[i].convicted_object,
+              b.report.findings[i].convicted_object);
+    EXPECT_EQ(a.report.findings[i].repair.kind,
+              b.report.findings[i].repair.kind);
+  }
+}
+
+}  // namespace
+}  // namespace faultyrank

@@ -1,0 +1,94 @@
+#include "pfs/changelog.h"
+
+#include <gtest/gtest.h>
+
+#include "pfs/cluster.h"
+
+namespace faultyrank {
+namespace {
+
+TEST(ChangeLogTest, AppendsWithMonotonicIndices) {
+  ChangeLog log;
+  log.append({0, ChangeOp::kMkdir, Fid{1, 1, 0}, Fid{1, 0, 0}, "a",
+              InodeType::kDirectory, {}});
+  log.append({0, ChangeOp::kMkdir, Fid{1, 2, 0}, Fid{1, 0, 0}, "b",
+              InodeType::kDirectory, {}});
+  const auto records = log.read_from(0);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].index, 0u);
+  EXPECT_EQ(records[1].index, 1u);
+  EXPECT_EQ(log.next_index(), 2u);
+}
+
+TEST(ChangeLogTest, ReadFromCursorSkipsConsumed) {
+  ChangeLog log;
+  for (int i = 0; i < 5; ++i) {
+    log.append({0, ChangeOp::kMkdir, Fid{1, static_cast<std::uint32_t>(i), 0},
+                kNullFid, "d", InodeType::kDirectory, {}});
+  }
+  EXPECT_EQ(log.read_from(3).size(), 2u);
+  EXPECT_EQ(log.read_from(5).size(), 0u);
+}
+
+TEST(ChangeLogTest, PurgeDropsAcknowledgedRecords) {
+  ChangeLog log;
+  for (int i = 0; i < 5; ++i) {
+    log.append({0, ChangeOp::kMkdir, Fid{1, static_cast<std::uint32_t>(i), 0},
+                kNullFid, "d", InodeType::kDirectory, {}});
+  }
+  log.purge_below(3);
+  EXPECT_EQ(log.size(), 2u);
+  // Indices are preserved across a purge.
+  EXPECT_EQ(log.read_from(0).front().index, 3u);
+}
+
+TEST(ChangeLogTest, ClusterRecordsMkdirCreateUnlink) {
+  LustreCluster cluster(2, StripePolicy{64 * 1024, -1});
+  ChangeLog log;
+  cluster.attach_changelog(&log);
+
+  const Fid dir = cluster.mkdir(cluster.root(), "d");
+  const Fid file = cluster.create_file(dir, "f", 2 * 64 * 1024);
+  cluster.unlink(dir, "f");
+
+  const auto records = log.read_from(0);
+  ASSERT_EQ(records.size(), 3u);
+
+  EXPECT_EQ(records[0].op, ChangeOp::kMkdir);
+  EXPECT_EQ(records[0].target, dir);
+  EXPECT_EQ(records[0].parent, cluster.root());
+  EXPECT_EQ(records[0].name, "d");
+
+  EXPECT_EQ(records[1].op, ChangeOp::kCreateFile);
+  EXPECT_EQ(records[1].target, file);
+  EXPECT_EQ(records[1].parent, dir);
+  EXPECT_EQ(records[1].stripes.size(), 2u);
+
+  EXPECT_EQ(records[2].op, ChangeOp::kUnlink);
+  EXPECT_EQ(records[2].target, file);
+  EXPECT_EQ(records[2].stripes.size(), 2u);  // freed objects recorded
+}
+
+TEST(ChangeLogTest, DetachStopsRecording) {
+  LustreCluster cluster(2);
+  ChangeLog log;
+  cluster.attach_changelog(&log);
+  cluster.mkdir(cluster.root(), "a");
+  cluster.attach_changelog(nullptr);
+  cluster.mkdir(cluster.root(), "b");
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(ChangeLogTest, RawCorruptionBypassesTheLog) {
+  LustreCluster cluster(2, StripePolicy{64 * 1024, 1});
+  ChangeLog log;
+  cluster.attach_changelog(&log);
+  const Fid file = cluster.create_file(cluster.root(), "f", 1000);
+  const auto before = log.size();
+  // Raw EA edit, as the fault injector (or bit rot) would do.
+  cluster.mdt().image.find_by_fid(file)->link_ea.clear();
+  EXPECT_EQ(log.size(), before);
+}
+
+}  // namespace
+}  // namespace faultyrank

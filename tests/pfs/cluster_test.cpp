@@ -1,0 +1,170 @@
+#include "pfs/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace faultyrank {
+namespace {
+
+TEST(ClusterTest, ConstructionCreatesRootWithFid) {
+  LustreCluster cluster(4);
+  EXPECT_FALSE(cluster.root().is_null());
+  const Inode* root = cluster.stat(cluster.root());
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->type, InodeType::kDirectory);
+  EXPECT_EQ(cluster.mdt_inodes_used(), 1u);
+}
+
+TEST(ClusterTest, RequiresAtLeastOneOst) {
+  EXPECT_THROW(LustreCluster(0), ClusterError);
+}
+
+TEST(ClusterTest, RejectsZeroStripeSize) {
+  EXPECT_THROW(LustreCluster(2, StripePolicy{0, 1}), ClusterError);
+}
+
+TEST(ClusterTest, MkdirMaintainsDirentAndLinkEa) {
+  LustreCluster cluster(2);
+  const Fid dir = cluster.mkdir(cluster.root(), "projects");
+  const Inode* root = cluster.stat(cluster.root());
+  ASSERT_EQ(root->dirents.size(), 1u);
+  EXPECT_EQ(root->dirents[0].name, "projects");
+  EXPECT_EQ(root->dirents[0].fid, dir);
+  const Inode* child = cluster.stat(dir);
+  ASSERT_EQ(child->link_ea.size(), 1u);
+  EXPECT_EQ(child->link_ea[0].parent, cluster.root());
+  EXPECT_EQ(child->link_ea[0].name, "projects");
+}
+
+TEST(ClusterTest, MkdirRejectsDuplicateName) {
+  LustreCluster cluster(2);
+  cluster.mkdir(cluster.root(), "x");
+  EXPECT_THROW(cluster.mkdir(cluster.root(), "x"), ClusterError);
+}
+
+TEST(ClusterTest, MkdirRejectsFileParent) {
+  LustreCluster cluster(2);
+  const Fid file = cluster.create_file(cluster.root(), "f", 100);
+  EXPECT_THROW(cluster.mkdir(file, "sub"), ClusterError);
+}
+
+TEST(ClusterTest, CreateFileBuildsFullMetadataWeb) {
+  LustreCluster cluster(4, StripePolicy{64 * 1024, -1});
+  const Fid file = cluster.create_file(cluster.root(), "data.bin",
+                                       3 * 64 * 1024);
+  const Inode* inode = cluster.stat(file);
+  ASSERT_NE(inode, nullptr);
+  ASSERT_TRUE(inode->lov_ea.has_value());
+  ASSERT_EQ(inode->lov_ea->stripes.size(), 3u);  // ⌈192K/64K⌉ = 3
+  for (std::uint32_t k = 0; k < 3; ++k) {
+    const LovEaEntry& slot = inode->lov_ea->stripes[k];
+    const Inode* object =
+        cluster.ost(slot.ost_index).image.find_by_fid(slot.stripe);
+    ASSERT_NE(object, nullptr) << "stripe " << k;
+    ASSERT_TRUE(object->filter_fid.has_value());
+    EXPECT_EQ(object->filter_fid->parent, file);
+    EXPECT_EQ(object->filter_fid->stripe_index, k);
+  }
+}
+
+TEST(ClusterTest, StripeCountCapsObjectsForLargeFiles) {
+  LustreCluster cluster(4, StripePolicy{64 * 1024, -1});
+  // 1 GB with 4 OSTs: capped at stripe width 4 (the paper's shrink rule).
+  const Fid file = cluster.create_file(cluster.root(), "big", 1u << 30);
+  EXPECT_EQ(cluster.stat(file)->lov_ea->stripes.size(), 4u);
+}
+
+TEST(ClusterTest, EmptyFileStillOwnsOneObject) {
+  LustreCluster cluster(4, StripePolicy{64 * 1024, -1});
+  const Fid file = cluster.create_file(cluster.root(), "empty", 0);
+  EXPECT_EQ(cluster.stat(file)->lov_ea->stripes.size(), 1u);
+}
+
+TEST(ClusterTest, ExplicitStripeCountLimitsWidth) {
+  LustreCluster cluster(8, StripePolicy{64 * 1024, 2});
+  const Fid file = cluster.create_file(cluster.root(), "two", 1u << 20);
+  EXPECT_EQ(cluster.stat(file)->lov_ea->stripes.size(), 2u);
+}
+
+TEST(ClusterTest, StripesRotateAcrossOsts) {
+  LustreCluster cluster(4, StripePolicy{64 * 1024, 1});
+  std::vector<std::uint32_t> osts;
+  for (int i = 0; i < 4; ++i) {
+    const Fid file = cluster.create_file(cluster.root(),
+                                         "f" + std::to_string(i), 1000);
+    osts.push_back(cluster.stat(file)->lov_ea->stripes[0].ost_index);
+  }
+  // Round-robin start: all four OSTs used once.
+  std::sort(osts.begin(), osts.end());
+  EXPECT_EQ(osts, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(ClusterTest, ResolveWalksPaths) {
+  LustreCluster cluster(2);
+  const Fid a = cluster.mkdir(cluster.root(), "a");
+  const Fid b = cluster.mkdir(a, "b");
+  const Fid f = cluster.create_file(b, "f.txt", 10);
+  EXPECT_EQ(cluster.resolve("/"), cluster.root());
+  EXPECT_EQ(cluster.resolve("/a"), a);
+  EXPECT_EQ(cluster.resolve("/a/b"), b);
+  EXPECT_EQ(cluster.resolve("/a/b/f.txt"), f);
+  EXPECT_THROW((void)cluster.resolve("/a/missing"), ClusterError);
+  EXPECT_THROW((void)cluster.resolve("relative"), ClusterError);
+}
+
+TEST(ClusterTest, MkdirPCreatesMissingComponents) {
+  LustreCluster cluster(2);
+  const Fid deep = cluster.mkdir_p("/x/y/z");
+  EXPECT_EQ(cluster.resolve("/x/y/z"), deep);
+  // Idempotent.
+  EXPECT_EQ(cluster.mkdir_p("/x/y/z"), deep);
+}
+
+TEST(ClusterTest, UnlinkFileFreesMdtInodeAndOstObjects) {
+  LustreCluster cluster(4, StripePolicy{64 * 1024, -1});
+  const auto before_objects = cluster.total_ost_objects();
+  cluster.create_file(cluster.root(), "f", 4 * 64 * 1024);
+  EXPECT_EQ(cluster.total_ost_objects(), before_objects + 4);
+  cluster.unlink(cluster.root(), "f");
+  EXPECT_EQ(cluster.total_ost_objects(), before_objects);
+  EXPECT_EQ(cluster.mdt_inodes_used(), 1u);  // only the root remains
+  EXPECT_THROW((void)cluster.resolve("/f"), ClusterError);
+}
+
+TEST(ClusterTest, UnlinkRejectsMissingAndNonEmpty) {
+  LustreCluster cluster(2);
+  const Fid dir = cluster.mkdir(cluster.root(), "d");
+  cluster.create_file(dir, "f", 10);
+  EXPECT_THROW(cluster.unlink(cluster.root(), "nope"), ClusterError);
+  EXPECT_THROW(cluster.unlink(cluster.root(), "d"), ClusterError);
+  cluster.unlink(dir, "f");
+  cluster.unlink(cluster.root(), "d");  // now empty: fine
+  EXPECT_EQ(cluster.mdt_inodes_used(), 1u);
+}
+
+TEST(ClusterTest, LostFoundIsCreatedOnceUnderDotLustre) {
+  LustreCluster cluster(2);
+  const Fid lf = cluster.lost_found();
+  EXPECT_EQ(cluster.lost_found(), lf);
+  EXPECT_EQ(cluster.resolve("/.lustre/lost+found"), lf);
+}
+
+TEST(ClusterTest, FidsAreUniqueAcrossServers) {
+  LustreCluster cluster(3, StripePolicy{64 * 1024, -1});
+  std::vector<Fid> fids;
+  for (int i = 0; i < 20; ++i) {
+    fids.push_back(cluster.create_file(cluster.root(),
+                                       "f" + std::to_string(i), 200 * 1024));
+  }
+  for (const auto& ost : cluster.osts()) {
+    ost.image.for_each_inode(
+        [&](const Inode& inode) { fids.push_back(inode.lma_fid); });
+  }
+  std::sort(fids.begin(), fids.end());
+  EXPECT_EQ(std::adjacent_find(fids.begin(), fids.end()), fids.end());
+}
+
+}  // namespace
+}  // namespace faultyrank

@@ -1,0 +1,158 @@
+// DNE (Distributed NamEspace): clusters with several metadata servers.
+// Directories round-robin across MDTs, so DIRENT/LinkEA pairs routinely
+// cross servers; everything downstream — scanners, aggregation,
+// FaultyRank, LFSCK, repair, persistence — must behave identically.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "checker/checker.h"
+#include "faults/injector.h"
+#include "lfsck/lfsck.h"
+#include "online/online_checker.h"
+#include "pfs/persistence.h"
+#include "testing/fixtures.h"
+
+namespace faultyrank {
+namespace {
+
+LustreCluster make_dne_cluster(std::uint64_t files, std::uint64_t seed,
+                               std::size_t mdts = 3) {
+  LustreCluster cluster(4, StripePolicy{64 * 1024, -1}, mdts);
+  NamespaceConfig config;
+  config.file_count = files;
+  config.seed = seed;
+  populate_namespace(cluster, config);
+  return cluster;
+}
+
+TEST(DneTest, DirectoriesSpreadAcrossMdts) {
+  LustreCluster cluster = make_dne_cluster(200, 201);
+  std::size_t populated_mdts = 0;
+  for (std::size_t m = 0; m < cluster.mdt_count(); ++m) {
+    if (cluster.mdt_server(m).image.inodes_in_use() > 0) ++populated_mdts;
+  }
+  EXPECT_EQ(populated_mdts, 3u);
+  // FID sequences are disjoint per MDT.
+  EXPECT_NE(cluster.mdt_server(0).fids.seq(),
+            cluster.mdt_server(1).fids.seq());
+}
+
+TEST(DneTest, FidRoutingFindsCrossMdtObjects) {
+  LustreCluster cluster(2, StripePolicy{64 * 1024, 1}, 3);
+  const Fid d1 = cluster.mkdir(cluster.root(), "d1");   // MDT round robin
+  const Fid d2 = cluster.mkdir(d1, "d2");
+  const Fid file = cluster.create_file(d2, "f", 1000);
+  EXPECT_EQ(cluster.resolve("/d1/d2/f"), file);
+  // The child directory landed on a different MDT than the root but
+  // resolution routes transparently.
+  EXPECT_NE(cluster.mdt_for(cluster.root()), cluster.mdt_for(d2));
+  EXPECT_NE(cluster.stat(d2), nullptr);
+}
+
+TEST(DneTest, HealthyDneClusterScansFullyPaired) {
+  LustreCluster cluster = make_dne_cluster(150, 202);
+  const CheckerResult result = run_checker(cluster);
+  EXPECT_TRUE(result.report.consistent());
+  // The scan covered every MDT inode.
+  EXPECT_EQ(result.inodes_scanned,
+            cluster.mdt_inodes_used() + cluster.total_ost_objects());
+}
+
+TEST(DneTest, NonPrimaryMdtPartialGraphsCrossTheWire) {
+  LustreCluster cluster = make_dne_cluster(100, 203);
+  const ClusterScan scan = scan_cluster(cluster);
+  ASSERT_GE(scan.results.size(), 3u);
+  EXPECT_TRUE(scan.results[0].local_to_mds);    // MDT0 hosts the aggregator
+  EXPECT_FALSE(scan.results[1].local_to_mds);   // MDT1 transfers
+  EXPECT_FALSE(scan.results[2].local_to_mds);   // MDT2 transfers
+}
+
+class DneScenarioTest : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(DneScenarioTest, FaultsDetectedAndRepairedAcrossMdts) {
+  LustreCluster cluster = make_dne_cluster(250, 204);
+  FaultInjector injector(cluster, 2044);
+  const GroundTruth truth = injector.inject(GetParam());
+
+  CheckerConfig config;
+  config.apply_repairs = true;
+  config.verify_after_repair = true;
+  const CheckerResult result = run_checker(cluster, config);
+  const EvalOutcome outcome = evaluate_report(result.report, truth);
+  EXPECT_TRUE(outcome.detected);
+  EXPECT_TRUE(outcome.root_cause_identified) << to_string(GetParam());
+  EXPECT_TRUE(result.verified_consistent) << to_string(GetParam());
+  EXPECT_TRUE(verify_restored(cluster, truth)) << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, DneScenarioTest, ::testing::ValuesIn(kAllScenarios),
+    [](const ::testing::TestParamInfo<Scenario>& info) {
+      std::string name = to_string(info.param);
+      for (char& ch : name) {
+        if (ch == '/' || ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(DneTest, LfsckWalksEveryMdt) {
+  LustreCluster cluster = make_dne_cluster(150, 205);
+  const LfsckResult result = run_lfsck(cluster);
+  EXPECT_TRUE(result.events.empty());
+  // Both phases together must cover at least every inode on every
+  // server (directories are visited by both passes).
+  EXPECT_GE(result.inodes_checked,
+            cluster.mdt_inodes_used() + cluster.total_ost_objects());
+}
+
+TEST(DneTest, PersistenceRoundTripsAllMdts) {
+  const std::string path = ::testing::TempDir() + "/dne.fimg";
+  LustreCluster original = make_dne_cluster(120, 206);
+  save_cluster(original, path);
+  LustreCluster loaded = load_cluster(path);
+  ASSERT_EQ(loaded.mdt_count(), original.mdt_count());
+  for (std::size_t m = 0; m < original.mdt_count(); ++m) {
+    EXPECT_EQ(loaded.mdt_server(m).image.inodes_in_use(),
+              original.mdt_server(m).image.inodes_in_use());
+  }
+  EXPECT_TRUE(run_checker(loaded).report.consistent());
+  std::remove(path.c_str());
+}
+
+TEST(DneTest, OnlineCheckerCoversAllMdts) {
+  LustreCluster cluster = make_dne_cluster(120, 207);
+  ChangeLog log;
+  cluster.attach_changelog(&log);
+  OnlineChecker checker(cluster);
+  checker.bootstrap();
+  EXPECT_TRUE(checker.check().report.consistent());
+
+  FaultInjector injector(cluster, 2077);
+  const GroundTruth truth = injector.inject(Scenario::kMismatchSourceId);
+  checker.full_scrub();
+  const EvalOutcome outcome = evaluate_report(checker.check().report, truth);
+  EXPECT_TRUE(outcome.detected);
+  EXPECT_TRUE(outcome.root_cause_identified);
+}
+
+TEST(DneTest, QuarantineWorksWhenLostFoundIsRemote) {
+  // lost+found may land on a non-zero MDT via round-robin placement;
+  // quarantine must route there.
+  LustreCluster cluster(2, StripePolicy{64 * 1024, 1}, 3);
+  cluster.create_file(cluster.root(), "keep", 1000);
+  // An isolated orphan object.
+  OstServer& ost = cluster.ost(0);
+  Inode& orphan = ost.image.allocate(InodeType::kOstObject);
+  orphan.lma_fid = Fid{kOstSeqBase, 0x9999, 0};
+  ost.image.oi_insert(orphan.lma_fid, orphan.ino);
+
+  CheckerConfig config;
+  config.apply_repairs = true;
+  config.verify_after_repair = true;
+  const CheckerResult result = run_checker(cluster, config);
+  EXPECT_TRUE(result.verified_consistent);
+}
+
+}  // namespace
+}  // namespace faultyrank

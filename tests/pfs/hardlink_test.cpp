@@ -1,0 +1,129 @@
+// Hard links: multiple DIRENT parents for one file are legitimate when
+// every claim is answered by a LinkEA record — the checker must accept
+// them, the online checker must track them, and genuine duplicate
+// claims must still be convicted.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "checker/checker.h"
+#include "pfs/persistence.h"
+#include "online/online_checker.h"
+#include "testing/fixtures.h"
+
+namespace faultyrank {
+namespace {
+
+TEST(HardLinkTest, LinkAddsDirentAndLinkEa) {
+  LustreCluster cluster(2, StripePolicy{64 * 1024, 1});
+  const Fid dir_a = cluster.mkdir(cluster.root(), "a");
+  const Fid dir_b = cluster.mkdir(cluster.root(), "b");
+  const Fid file = cluster.create_file(dir_a, "orig", 1000);
+  cluster.link(file, dir_b, "alias");
+
+  EXPECT_EQ(cluster.resolve("/a/orig"), file);
+  EXPECT_EQ(cluster.resolve("/b/alias"), file);
+  EXPECT_EQ(cluster.stat(file)->link_ea.size(), 2u);
+}
+
+TEST(HardLinkTest, LinkRejectsDirectoriesAndDuplicates) {
+  LustreCluster cluster(2);
+  const Fid dir = cluster.mkdir(cluster.root(), "d");
+  const Fid file = cluster.create_file(cluster.root(), "f", 100);
+  EXPECT_THROW(cluster.link(dir, cluster.root(), "d2"), ClusterError);
+  EXPECT_THROW(cluster.link(file, cluster.root(), "f"), ClusterError);
+}
+
+TEST(HardLinkTest, HardLinkedFileIsNotADoubleReference) {
+  LustreCluster cluster = testing::make_populated_cluster(100, 301);
+  const Fid dir_a = cluster.mkdir(cluster.root(), "ha");
+  const Fid dir_b = cluster.mkdir(cluster.root(), "hb");
+  const Fid file = cluster.create_file(dir_a, "shared", 2 * 64 * 1024);
+  cluster.link(file, dir_b, "shared_alias");
+
+  const CheckerResult result = run_checker(cluster);
+  EXPECT_TRUE(result.report.consistent());
+}
+
+TEST(HardLinkTest, UnlinkOneNameKeepsObjectAndData) {
+  LustreCluster cluster(2, StripePolicy{64 * 1024, -1});
+  const Fid dir_b = cluster.mkdir(cluster.root(), "b");
+  const Fid file = cluster.create_file(cluster.root(), "f", 2 * 64 * 1024);
+  cluster.link(file, dir_b, "alias");
+  const auto objects = cluster.total_ost_objects();
+
+  cluster.unlink(cluster.root(), "f");
+  // Object and stripes survive the first unlink…
+  EXPECT_NE(cluster.stat(file), nullptr);
+  EXPECT_EQ(cluster.total_ost_objects(), objects);
+  EXPECT_EQ(cluster.resolve("/b/alias"), file);
+  const CheckerResult mid = run_checker(cluster);
+  EXPECT_TRUE(mid.report.consistent());
+
+  // …and go away with the last one.
+  cluster.unlink(dir_b, "alias");
+  EXPECT_EQ(cluster.stat(file), nullptr);
+  EXPECT_EQ(cluster.total_ost_objects(), objects - 2);
+  EXPECT_TRUE(run_checker(cluster).report.consistent());
+}
+
+TEST(HardLinkTest, DuplicateDirentStillConvicted) {
+  // Two claims, one acknowledgment: the unanswered one is a duplicate.
+  LustreCluster cluster = testing::make_populated_cluster(80, 302);
+  const Fid dir_a = cluster.mkdir(cluster.root(), "da");
+  const Fid dir_b = cluster.mkdir(cluster.root(), "db");
+  const Fid file = cluster.create_file(dir_a, "victim", 1000);
+  // Raw corruption: db gains a dirent naming the file with no LinkEA.
+  Inode* db = cluster.find_mdt_inode(dir_b);
+  db->dirents.push_back({"stolen", file, 0});
+
+  CheckerConfig config;
+  config.apply_repairs = true;
+  config.verify_after_repair = true;
+  const CheckerResult result = run_checker(cluster, config);
+  EXPECT_GE(result.report.count(InconsistencyCategory::kDoubleReference), 1u);
+  EXPECT_TRUE(result.verified_consistent);
+  // The legitimate name survives.
+  EXPECT_EQ(cluster.resolve("/da/victim"), file);
+}
+
+TEST(HardLinkTest, OnlineCheckerTracksLinkAndPartialUnlink) {
+  LustreCluster cluster = testing::make_populated_cluster(60, 303);
+  ChangeLog log;
+  cluster.attach_changelog(&log);
+  OnlineChecker checker(cluster);
+  checker.bootstrap();
+
+  const Fid dir = cluster.mkdir(cluster.root(), "hl");
+  const Fid file = cluster.create_file(dir, "one", 1000);
+  cluster.link(file, cluster.root(), "two");
+  checker.catch_up();
+  EXPECT_TRUE(checker.check().report.consistent());
+
+  cluster.unlink(dir, "one");  // partial: the object survives
+  checker.catch_up();
+  EXPECT_TRUE(checker.check().report.consistent());
+  EXPECT_TRUE(checker.graph().contains(file));
+
+  cluster.unlink(cluster.root(), "two");  // final
+  checker.catch_up();
+  EXPECT_TRUE(checker.check().report.consistent());
+  EXPECT_FALSE(checker.graph().contains(file));
+}
+
+TEST(HardLinkTest, PersistenceKeepsAllLinks) {
+  const std::string path = ::testing::TempDir() + "/hardlink.fimg";
+  LustreCluster original(2, StripePolicy{64 * 1024, 1});
+  const Fid dir = original.mkdir(original.root(), "d");
+  const Fid file = original.create_file(original.root(), "f", 1000);
+  original.link(file, dir, "alias");
+
+  save_cluster(original, path);
+  LustreCluster loaded = load_cluster(path);
+  EXPECT_EQ(loaded.resolve("/f"), loaded.resolve("/d/alias"));
+  EXPECT_EQ(loaded.stat(file)->link_ea.size(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace faultyrank

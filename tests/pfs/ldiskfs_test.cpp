@@ -1,0 +1,110 @@
+#include "pfs/ldiskfs.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace faultyrank {
+namespace {
+
+TEST(LdiskfsTest, AllocateAssignsSequentialInos) {
+  LdiskfsImage image("test");
+  EXPECT_EQ(image.allocate(InodeType::kRegular).ino, 1u);
+  EXPECT_EQ(image.allocate(InodeType::kDirectory).ino, 2u);
+  EXPECT_EQ(image.allocate(InodeType::kOstObject).ino, 3u);
+  EXPECT_EQ(image.inodes_in_use(), 3u);
+}
+
+TEST(LdiskfsTest, FindRejectsInvalidAndFreeInos) {
+  LdiskfsImage image("test");
+  const std::uint64_t ino = image.allocate(InodeType::kRegular).ino;
+  EXPECT_NE(image.find(ino), nullptr);
+  EXPECT_EQ(image.find(0), nullptr);
+  EXPECT_EQ(image.find(999), nullptr);
+  image.release(ino);
+  EXPECT_EQ(image.find(ino), nullptr);
+}
+
+TEST(LdiskfsTest, ReleaseRecyclesLowestFreeSlotFirst) {
+  LdiskfsImage image("test");
+  for (int i = 0; i < 5; ++i) image.allocate(InodeType::kRegular);
+  image.release(2);
+  image.release(4);
+  EXPECT_EQ(image.allocate(InodeType::kRegular).ino, 2u);
+  EXPECT_EQ(image.allocate(InodeType::kRegular).ino, 4u);
+  EXPECT_EQ(image.allocate(InodeType::kRegular).ino, 6u);
+}
+
+TEST(LdiskfsTest, ReleaseOfFreeInodeThrows) {
+  LdiskfsImage image("test");
+  const auto ino = image.allocate(InodeType::kRegular).ino;
+  image.release(ino);
+  EXPECT_THROW(image.release(ino), std::invalid_argument);
+  EXPECT_THROW(image.release(12345), std::invalid_argument);
+}
+
+TEST(LdiskfsTest, OiMapsFidToInode) {
+  LdiskfsImage image("test");
+  Inode& inode = image.allocate(InodeType::kRegular);
+  inode.lma_fid = Fid{7, 7, 0};
+  image.oi_insert(inode.lma_fid, inode.ino);
+  EXPECT_EQ(image.find_by_fid(Fid{7, 7, 0}), image.find(inode.ino));
+  image.oi_erase(Fid{7, 7, 0});
+  EXPECT_EQ(image.find_by_fid(Fid{7, 7, 0}), nullptr);
+}
+
+TEST(LdiskfsTest, OiGoesStaleOnRawLmaEdit) {
+  LdiskfsImage image("test");
+  Inode& inode = image.allocate(InodeType::kRegular);
+  inode.lma_fid = Fid{7, 7, 0};
+  image.oi_insert(inode.lma_fid, inode.ino);
+  // Raw corruption behind the OI's back.
+  inode.lma_fid = Fid{9, 9, 0};
+  EXPECT_EQ(image.find_by_fid(Fid{9, 9, 0}), nullptr);
+  EXPECT_NE(image.find_by_fid(Fid{7, 7, 0}), nullptr);  // stale mapping
+  // The raw scan sees the truth.
+  EXPECT_NE(image.find_by_fid_raw(Fid{9, 9, 0}), nullptr);
+  EXPECT_EQ(image.find_by_fid_raw(Fid{7, 7, 0}), nullptr);
+}
+
+TEST(LdiskfsTest, ReleaseDropsOiEntry) {
+  LdiskfsImage image("test");
+  Inode& inode = image.allocate(InodeType::kRegular);
+  inode.lma_fid = Fid{7, 7, 0};
+  image.oi_insert(inode.lma_fid, inode.ino);
+  image.release(inode.ino);
+  EXPECT_EQ(image.find_by_fid(Fid{7, 7, 0}), nullptr);
+}
+
+TEST(LdiskfsTest, ForEachVisitsOnlyLiveInodesInInoOrder) {
+  LdiskfsImage image("test");
+  for (int i = 0; i < 6; ++i) image.allocate(InodeType::kRegular);
+  image.release(3);
+  std::vector<std::uint64_t> seen;
+  image.for_each_inode([&](const Inode& inode) { seen.push_back(inode.ino); });
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2, 4, 5, 6}));
+}
+
+TEST(LdiskfsTest, BlockGroupAccountingGrowsWithSlots) {
+  LdiskfsImage image("test", /*inodes_per_group=*/4);
+  EXPECT_EQ(image.block_groups(), 0u);
+  for (int i = 0; i < 5; ++i) image.allocate(InodeType::kRegular);
+  EXPECT_EQ(image.block_groups(), 2u);
+  EXPECT_EQ(image.inode_table_bytes(), 5 * 512u);
+}
+
+TEST(LdiskfsTest, ZeroInodesPerGroupRejected) {
+  EXPECT_THROW(LdiskfsImage("bad", 0), std::invalid_argument);
+}
+
+TEST(LdiskfsTest, DirentBytesScaleWithEntries) {
+  Inode inode;
+  EXPECT_EQ(inode.dirent_bytes(), 0u);
+  inode.dirents.push_back({"hello", Fid{1, 1, 0}, 2});
+  const auto one = inode.dirent_bytes();
+  inode.dirents.push_back({"world!", Fid{1, 2, 0}, 3});
+  EXPECT_GT(inode.dirent_bytes(), one);
+}
+
+}  // namespace
+}  // namespace faultyrank

@@ -1,0 +1,82 @@
+// Shared test fixtures: the paper's Fig. 3 example graph and small
+// populated clusters.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/unified_graph.h"
+#include "pfs/cluster.h"
+#include "workload/namespace_gen.h"
+
+namespace faultyrank::testing {
+
+/// FIDs of the Fig. 3 example: directory a; files b, c under a; stripe
+/// object d belonging to b.
+struct Fig3Fids {
+  Fid a{0x200000400, 1, 0};
+  Fid b{0x200000400, 2, 0};
+  Fid c{0x200000400, 3, 0};
+  Fid d{0x100010000, 1, 0};
+};
+
+/// Builds the Fig. 3 metadata graph *with* its two injected
+/// inconsistencies: c's LinkEA is missing and b's LOVEA slot for d is
+/// missing (d still points back at b).
+inline UnifiedGraph make_fig3_graph() {
+  const Fig3Fids fids;
+  PartialGraph mds;
+  mds.server = "mds0";
+  mds.add_vertex(fids.a, ObjectKind::kDirectory);
+  mds.add_vertex(fids.b, ObjectKind::kFile);
+  mds.add_vertex(fids.c, ObjectKind::kFile);
+  mds.add_edge(fids.a, fids.b, EdgeKind::kDirent);
+  mds.add_edge(fids.a, fids.c, EdgeKind::kDirent);
+  mds.add_edge(fids.b, fids.a, EdgeKind::kLinkEa);
+  // c → a LinkEA missing (inconsistency #1)
+  // b → d LOVEA missing (inconsistency #2)
+
+  PartialGraph oss;
+  oss.server = "oss0";
+  oss.add_vertex(fids.d, ObjectKind::kStripeObject);
+  oss.add_edge(fids.d, fids.b, EdgeKind::kObjParent);
+
+  const PartialGraph partials[] = {mds, oss};
+  return UnifiedGraph::aggregate(partials);
+}
+
+/// The same four objects in a fully consistent state.
+inline UnifiedGraph make_fig3_consistent_graph() {
+  const Fig3Fids fids;
+  PartialGraph mds;
+  mds.server = "mds0";
+  mds.add_vertex(fids.a, ObjectKind::kDirectory);
+  mds.add_vertex(fids.b, ObjectKind::kFile);
+  mds.add_vertex(fids.c, ObjectKind::kFile);
+  mds.add_edge(fids.a, fids.b, EdgeKind::kDirent);
+  mds.add_edge(fids.a, fids.c, EdgeKind::kDirent);
+  mds.add_edge(fids.b, fids.a, EdgeKind::kLinkEa);
+  mds.add_edge(fids.c, fids.a, EdgeKind::kLinkEa);
+  mds.add_edge(fids.b, fids.d, EdgeKind::kLovEa);
+
+  PartialGraph oss;
+  oss.server = "oss0";
+  oss.add_vertex(fids.d, ObjectKind::kStripeObject);
+  oss.add_edge(fids.d, fids.b, EdgeKind::kObjParent);
+
+  const PartialGraph partials[] = {mds, oss};
+  return UnifiedGraph::aggregate(partials);
+}
+
+/// A small populated cluster: 4 OSTs, `files` files, deterministic.
+inline LustreCluster make_populated_cluster(std::uint64_t files = 200,
+                                            std::uint64_t seed = 42,
+                                            std::size_t osts = 4) {
+  LustreCluster cluster(osts, StripePolicy{64 * 1024, -1});
+  NamespaceConfig config;
+  config.file_count = files;
+  config.seed = seed;
+  populate_namespace(cluster, config);
+  return cluster;
+}
+
+}  // namespace faultyrank::testing
