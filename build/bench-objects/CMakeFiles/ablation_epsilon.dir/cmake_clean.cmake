@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_epsilon"
+  "../bench/ablation_epsilon.pdb"
+  "CMakeFiles/ablation_epsilon.dir/ablation_epsilon.cpp.o"
+  "CMakeFiles/ablation_epsilon.dir/ablation_epsilon.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_epsilon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_weight"
+  "../bench/ablation_weight.pdb"
+  "CMakeFiles/ablation_weight.dir/ablation_weight.cpp.o"
+  "CMakeFiles/ablation_weight.dir/ablation_weight.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_weight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_dne"
+  "../bench/ext_dne.pdb"
+  "CMakeFiles/ext_dne.dir/ext_dne.cpp.o"
+  "CMakeFiles/ext_dne.dir/ext_dne.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_online_check"
+  "../bench/ext_online_check.pdb"
+  "CMakeFiles/ext_online_check.dir/ext_online_check.cpp.o"
+  "CMakeFiles/ext_online_check.dir/ext_online_check.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_online_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

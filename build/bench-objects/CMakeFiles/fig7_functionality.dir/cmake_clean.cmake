@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_functionality"
+  "../bench/fig7_functionality.pdb"
+  "CMakeFiles/fig7_functionality.dir/fig7_functionality.cpp.o"
+  "CMakeFiles/fig7_functionality.dir/fig7_functionality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_functionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

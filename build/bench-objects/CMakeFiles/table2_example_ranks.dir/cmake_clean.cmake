@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_example_ranks"
+  "../bench/table2_example_ranks.pdb"
+  "CMakeFiles/table2_example_ranks.dir/table2_example_ranks.cpp.o"
+  "CMakeFiles/table2_example_ranks.dir/table2_example_ranks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_example_ranks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_graph_perf"
+  "../bench/table4_graph_perf.pdb"
+  "CMakeFiles/table4_graph_perf.dir/table4_graph_perf.cpp.o"
+  "CMakeFiles/table4_graph_perf.dir/table4_graph_perf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_graph_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_degree_sweep"
+  "../bench/table5_degree_sweep.pdb"
+  "CMakeFiles/table5_degree_sweep.dir/table5_degree_sweep.cpp.o"
+  "CMakeFiles/table5_degree_sweep.dir/table5_degree_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_degree_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table6_full_system.cpp" "bench-objects/CMakeFiles/table6_full_system.dir/table6_full_system.cpp.o" "gcc" "bench-objects/CMakeFiles/table6_full_system.dir/table6_full_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/checker/CMakeFiles/fr_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/online/CMakeFiles/fr_online.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfsck/CMakeFiles/fr_lfsck.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/fr_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/aggregator/CMakeFiles/fr_aggregator.dir/DependInfo.cmake"
+  "/root/repo/build/src/scanner/CMakeFiles/fr_scanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/fr_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

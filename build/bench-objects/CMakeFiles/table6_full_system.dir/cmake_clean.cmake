@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_full_system"
+  "../bench/table6_full_system.pdb"
+  "CMakeFiles/table6_full_system.dir/table6_full_system.cpp.o"
+  "CMakeFiles/table6_full_system.dir/table6_full_system.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_full_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

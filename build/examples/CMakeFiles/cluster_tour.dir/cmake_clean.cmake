@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_tour.dir/cluster_tour.cpp.o"
+  "CMakeFiles/cluster_tour.dir/cluster_tour.cpp.o.d"
+  "cluster_tour"
+  "cluster_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

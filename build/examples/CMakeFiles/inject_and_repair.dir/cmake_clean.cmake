@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inject_and_repair.dir/inject_and_repair.cpp.o"
+  "CMakeFiles/inject_and_repair.dir/inject_and_repair.cpp.o.d"
+  "inject_and_repair"
+  "inject_and_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inject_and_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

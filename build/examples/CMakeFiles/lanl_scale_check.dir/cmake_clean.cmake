@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lanl_scale_check.dir/lanl_scale_check.cpp.o"
+  "CMakeFiles/lanl_scale_check.dir/lanl_scale_check.cpp.o.d"
+  "lanl_scale_check"
+  "lanl_scale_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lanl_scale_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

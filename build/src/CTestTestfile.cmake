@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("graph")
+subdirs("pfs")
+subdirs("workload")
+subdirs("scanner")
+subdirs("aggregator")
+subdirs("core")
+subdirs("online")
+subdirs("beegfs")
+subdirs("lfsck")
+subdirs("faults")
+subdirs("checker")

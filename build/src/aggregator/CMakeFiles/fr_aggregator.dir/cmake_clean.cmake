@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fr_aggregator.dir/aggregator.cpp.o"
+  "CMakeFiles/fr_aggregator.dir/aggregator.cpp.o.d"
+  "libfr_aggregator.a"
+  "libfr_aggregator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fr_aggregator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

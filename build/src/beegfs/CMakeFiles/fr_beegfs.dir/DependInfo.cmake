@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/beegfs/bee_checker.cpp" "src/beegfs/CMakeFiles/fr_beegfs.dir/bee_checker.cpp.o" "gcc" "src/beegfs/CMakeFiles/fr_beegfs.dir/bee_checker.cpp.o.d"
+  "/root/repo/src/beegfs/bee_cluster.cpp" "src/beegfs/CMakeFiles/fr_beegfs.dir/bee_cluster.cpp.o" "gcc" "src/beegfs/CMakeFiles/fr_beegfs.dir/bee_cluster.cpp.o.d"
+  "/root/repo/src/beegfs/bee_scanner.cpp" "src/beegfs/CMakeFiles/fr_beegfs.dir/bee_scanner.cpp.o" "gcc" "src/beegfs/CMakeFiles/fr_beegfs.dir/bee_scanner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fr_beegfs.dir/bee_checker.cpp.o"
+  "CMakeFiles/fr_beegfs.dir/bee_checker.cpp.o.d"
+  "CMakeFiles/fr_beegfs.dir/bee_cluster.cpp.o"
+  "CMakeFiles/fr_beegfs.dir/bee_cluster.cpp.o.d"
+  "CMakeFiles/fr_beegfs.dir/bee_scanner.cpp.o"
+  "CMakeFiles/fr_beegfs.dir/bee_scanner.cpp.o.d"
+  "libfr_beegfs.a"
+  "libfr_beegfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fr_beegfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

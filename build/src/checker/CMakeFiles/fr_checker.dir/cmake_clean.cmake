@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fr_checker.dir/checker.cpp.o"
+  "CMakeFiles/fr_checker.dir/checker.cpp.o.d"
+  "CMakeFiles/fr_checker.dir/repair_executor.cpp.o"
+  "CMakeFiles/fr_checker.dir/repair_executor.cpp.o.d"
+  "libfr_checker.a"
+  "libfr_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fr_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fr_common.dir/fid.cpp.o"
+  "CMakeFiles/fr_common.dir/fid.cpp.o.d"
+  "CMakeFiles/fr_common.dir/logging.cpp.o"
+  "CMakeFiles/fr_common.dir/logging.cpp.o.d"
+  "CMakeFiles/fr_common.dir/memory_tracker.cpp.o"
+  "CMakeFiles/fr_common.dir/memory_tracker.cpp.o.d"
+  "CMakeFiles/fr_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/fr_common.dir/thread_pool.cpp.o.d"
+  "libfr_common.a"
+  "libfr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/detector.cpp" "src/core/CMakeFiles/fr_core.dir/detector.cpp.o" "gcc" "src/core/CMakeFiles/fr_core.dir/detector.cpp.o.d"
+  "/root/repo/src/core/faultyrank.cpp" "src/core/CMakeFiles/fr_core.dir/faultyrank.cpp.o" "gcc" "src/core/CMakeFiles/fr_core.dir/faultyrank.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/fr_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/fr_core.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/fr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

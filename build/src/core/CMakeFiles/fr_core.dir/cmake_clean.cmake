@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fr_core.dir/detector.cpp.o"
+  "CMakeFiles/fr_core.dir/detector.cpp.o.d"
+  "CMakeFiles/fr_core.dir/faultyrank.cpp.o"
+  "CMakeFiles/fr_core.dir/faultyrank.cpp.o.d"
+  "CMakeFiles/fr_core.dir/report.cpp.o"
+  "CMakeFiles/fr_core.dir/report.cpp.o.d"
+  "libfr_core.a"
+  "libfr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fr_faults.dir/injector.cpp.o"
+  "CMakeFiles/fr_faults.dir/injector.cpp.o.d"
+  "libfr_faults.a"
+  "libfr_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fr_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr.cpp" "src/graph/CMakeFiles/fr_graph.dir/csr.cpp.o" "gcc" "src/graph/CMakeFiles/fr_graph.dir/csr.cpp.o.d"
+  "/root/repo/src/graph/graph_io.cpp" "src/graph/CMakeFiles/fr_graph.dir/graph_io.cpp.o" "gcc" "src/graph/CMakeFiles/fr_graph.dir/graph_io.cpp.o.d"
+  "/root/repo/src/graph/partial_graph.cpp" "src/graph/CMakeFiles/fr_graph.dir/partial_graph.cpp.o" "gcc" "src/graph/CMakeFiles/fr_graph.dir/partial_graph.cpp.o.d"
+  "/root/repo/src/graph/unified_graph.cpp" "src/graph/CMakeFiles/fr_graph.dir/unified_graph.cpp.o" "gcc" "src/graph/CMakeFiles/fr_graph.dir/unified_graph.cpp.o.d"
+  "/root/repo/src/graph/vertex_table.cpp" "src/graph/CMakeFiles/fr_graph.dir/vertex_table.cpp.o" "gcc" "src/graph/CMakeFiles/fr_graph.dir/vertex_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fr_graph.dir/csr.cpp.o"
+  "CMakeFiles/fr_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/fr_graph.dir/graph_io.cpp.o"
+  "CMakeFiles/fr_graph.dir/graph_io.cpp.o.d"
+  "CMakeFiles/fr_graph.dir/partial_graph.cpp.o"
+  "CMakeFiles/fr_graph.dir/partial_graph.cpp.o.d"
+  "CMakeFiles/fr_graph.dir/unified_graph.cpp.o"
+  "CMakeFiles/fr_graph.dir/unified_graph.cpp.o.d"
+  "CMakeFiles/fr_graph.dir/vertex_table.cpp.o"
+  "CMakeFiles/fr_graph.dir/vertex_table.cpp.o.d"
+  "libfr_graph.a"
+  "libfr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

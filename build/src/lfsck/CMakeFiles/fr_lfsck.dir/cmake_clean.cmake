@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fr_lfsck.dir/lfsck.cpp.o"
+  "CMakeFiles/fr_lfsck.dir/lfsck.cpp.o.d"
+  "libfr_lfsck.a"
+  "libfr_lfsck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fr_lfsck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfr_lfsck.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fr_lfsck.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/online/mutable_graph.cpp" "src/online/CMakeFiles/fr_online.dir/mutable_graph.cpp.o" "gcc" "src/online/CMakeFiles/fr_online.dir/mutable_graph.cpp.o.d"
+  "/root/repo/src/online/online_checker.cpp" "src/online/CMakeFiles/fr_online.dir/online_checker.cpp.o" "gcc" "src/online/CMakeFiles/fr_online.dir/online_checker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/fr_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

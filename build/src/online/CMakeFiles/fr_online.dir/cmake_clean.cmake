@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fr_online.dir/mutable_graph.cpp.o"
+  "CMakeFiles/fr_online.dir/mutable_graph.cpp.o.d"
+  "CMakeFiles/fr_online.dir/online_checker.cpp.o"
+  "CMakeFiles/fr_online.dir/online_checker.cpp.o.d"
+  "libfr_online.a"
+  "libfr_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fr_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

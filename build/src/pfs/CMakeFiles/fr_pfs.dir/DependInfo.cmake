@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pfs/changelog.cpp" "src/pfs/CMakeFiles/fr_pfs.dir/changelog.cpp.o" "gcc" "src/pfs/CMakeFiles/fr_pfs.dir/changelog.cpp.o.d"
+  "/root/repo/src/pfs/cluster.cpp" "src/pfs/CMakeFiles/fr_pfs.dir/cluster.cpp.o" "gcc" "src/pfs/CMakeFiles/fr_pfs.dir/cluster.cpp.o.d"
+  "/root/repo/src/pfs/ldiskfs.cpp" "src/pfs/CMakeFiles/fr_pfs.dir/ldiskfs.cpp.o" "gcc" "src/pfs/CMakeFiles/fr_pfs.dir/ldiskfs.cpp.o.d"
+  "/root/repo/src/pfs/persistence.cpp" "src/pfs/CMakeFiles/fr_pfs.dir/persistence.cpp.o" "gcc" "src/pfs/CMakeFiles/fr_pfs.dir/persistence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

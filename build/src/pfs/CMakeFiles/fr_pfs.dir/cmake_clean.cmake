@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fr_pfs.dir/changelog.cpp.o"
+  "CMakeFiles/fr_pfs.dir/changelog.cpp.o.d"
+  "CMakeFiles/fr_pfs.dir/cluster.cpp.o"
+  "CMakeFiles/fr_pfs.dir/cluster.cpp.o.d"
+  "CMakeFiles/fr_pfs.dir/ldiskfs.cpp.o"
+  "CMakeFiles/fr_pfs.dir/ldiskfs.cpp.o.d"
+  "CMakeFiles/fr_pfs.dir/persistence.cpp.o"
+  "CMakeFiles/fr_pfs.dir/persistence.cpp.o.d"
+  "libfr_pfs.a"
+  "libfr_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fr_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fr_scanner.dir/scanner.cpp.o"
+  "CMakeFiles/fr_scanner.dir/scanner.cpp.o.d"
+  "libfr_scanner.a"
+  "libfr_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fr_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

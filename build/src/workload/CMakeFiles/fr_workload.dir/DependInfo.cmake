@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/namespace_gen.cpp" "src/workload/CMakeFiles/fr_workload.dir/namespace_gen.cpp.o" "gcc" "src/workload/CMakeFiles/fr_workload.dir/namespace_gen.cpp.o.d"
+  "/root/repo/src/workload/rmat.cpp" "src/workload/CMakeFiles/fr_workload.dir/rmat.cpp.o" "gcc" "src/workload/CMakeFiles/fr_workload.dir/rmat.cpp.o.d"
+  "/root/repo/src/workload/synthetic_graphs.cpp" "src/workload/CMakeFiles/fr_workload.dir/synthetic_graphs.cpp.o" "gcc" "src/workload/CMakeFiles/fr_workload.dir/synthetic_graphs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/fr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/fr_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

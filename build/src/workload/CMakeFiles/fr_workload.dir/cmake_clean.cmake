@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fr_workload.dir/namespace_gen.cpp.o"
+  "CMakeFiles/fr_workload.dir/namespace_gen.cpp.o.d"
+  "CMakeFiles/fr_workload.dir/rmat.cpp.o"
+  "CMakeFiles/fr_workload.dir/rmat.cpp.o.d"
+  "CMakeFiles/fr_workload.dir/synthetic_graphs.cpp.o"
+  "CMakeFiles/fr_workload.dir/synthetic_graphs.cpp.o.d"
+  "libfr_workload.a"
+  "libfr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

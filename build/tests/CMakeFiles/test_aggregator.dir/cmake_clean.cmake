@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aggregator.dir/aggregator/aggregator_test.cpp.o"
+  "CMakeFiles/test_aggregator.dir/aggregator/aggregator_test.cpp.o.d"
+  "test_aggregator"
+  "test_aggregator.pdb"
+  "test_aggregator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aggregator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_beegfs.dir/beegfs/bee_checker_test.cpp.o"
+  "CMakeFiles/test_beegfs.dir/beegfs/bee_checker_test.cpp.o.d"
+  "CMakeFiles/test_beegfs.dir/beegfs/bee_cluster_test.cpp.o"
+  "CMakeFiles/test_beegfs.dir/beegfs/bee_cluster_test.cpp.o.d"
+  "test_beegfs"
+  "test_beegfs.pdb"
+  "test_beegfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_beegfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

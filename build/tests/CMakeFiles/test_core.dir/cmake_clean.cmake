@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/cycle_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/cycle_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/detector_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/detector_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/faultyrank_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/faultyrank_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/rank_topology_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/rank_topology_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/report_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/report_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

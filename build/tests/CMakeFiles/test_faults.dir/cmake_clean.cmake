@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_faults.dir/faults/campaign_precision_test.cpp.o"
+  "CMakeFiles/test_faults.dir/faults/campaign_precision_test.cpp.o.d"
+  "CMakeFiles/test_faults.dir/faults/fuzz_test.cpp.o"
+  "CMakeFiles/test_faults.dir/faults/fuzz_test.cpp.o.d"
+  "CMakeFiles/test_faults.dir/faults/injector_test.cpp.o"
+  "CMakeFiles/test_faults.dir/faults/injector_test.cpp.o.d"
+  "test_faults"
+  "test_faults.pdb"
+  "test_faults[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lfsck.dir/lfsck/lfsck_test.cpp.o"
+  "CMakeFiles/test_lfsck.dir/lfsck/lfsck_test.cpp.o.d"
+  "test_lfsck"
+  "test_lfsck.pdb"
+  "test_lfsck[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lfsck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

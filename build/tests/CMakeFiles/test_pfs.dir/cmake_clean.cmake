@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfs.dir/pfs/changelog_test.cpp.o"
+  "CMakeFiles/test_pfs.dir/pfs/changelog_test.cpp.o.d"
+  "CMakeFiles/test_pfs.dir/pfs/cluster_test.cpp.o"
+  "CMakeFiles/test_pfs.dir/pfs/cluster_test.cpp.o.d"
+  "CMakeFiles/test_pfs.dir/pfs/dne_test.cpp.o"
+  "CMakeFiles/test_pfs.dir/pfs/dne_test.cpp.o.d"
+  "CMakeFiles/test_pfs.dir/pfs/hardlink_test.cpp.o"
+  "CMakeFiles/test_pfs.dir/pfs/hardlink_test.cpp.o.d"
+  "CMakeFiles/test_pfs.dir/pfs/ldiskfs_test.cpp.o"
+  "CMakeFiles/test_pfs.dir/pfs/ldiskfs_test.cpp.o.d"
+  "CMakeFiles/test_pfs.dir/pfs/persistence_test.cpp.o"
+  "CMakeFiles/test_pfs.dir/pfs/persistence_test.cpp.o.d"
+  "test_pfs"
+  "test_pfs.pdb"
+  "test_pfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

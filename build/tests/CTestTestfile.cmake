@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_pfs[1]_include.cmake")
+include("/root/repo/build/tests/test_beegfs[1]_include.cmake")
+include("/root/repo/build/tests/test_online[1]_include.cmake")
+include("/root/repo/build/tests/test_scanner[1]_include.cmake")
+include("/root/repo/build/tests/test_aggregator[1]_include.cmake")
+include("/root/repo/build/tests/test_lfsck[1]_include.cmake")
+include("/root/repo/build/tests/test_faults[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_checker[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faultyrank_fsck.dir/faultyrank_fsck.cpp.o"
+  "CMakeFiles/faultyrank_fsck.dir/faultyrank_fsck.cpp.o.d"
+  "faultyrank_fsck"
+  "faultyrank_fsck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faultyrank_fsck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
