@@ -1,34 +1,172 @@
 #include "aggregator/aggregator.h"
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
+#include "common/bounded_queue.h"
 #include "common/timer.h"
 
 namespace faultyrank {
 
+namespace {
+
+/// Moves one scan result onto the MDS: local partials join directly,
+/// remote ones cross the wire (encode, count the bytes, decode).
+void decode_partial(const ScanResult& scan, PartialGraph& out,
+                    std::uint64_t& wire_bytes) {
+  if (scan.local_to_mds) {
+    out = scan.graph;
+    return;
+  }
+  const auto bytes = scan.graph.serialize();
+  wire_bytes = bytes.size();
+  out = PartialGraph::deserialize(bytes);
+}
+
+/// Fills the virtual-time transfer accounting. Pure arithmetic over the
+/// per-scanner sim times and wire sizes, so batch and streaming paths
+/// (and any thread count) report identical numbers.
+void account_transfers(std::span<const ScanResult> scans,
+                       std::span<const std::uint64_t> wire_bytes,
+                       const NetModel& net, AggregationResult& result) {
+  double slowest_scan = 0.0;
+  std::vector<std::size_t> remote;
+  for (std::size_t i = 0; i < scans.size(); ++i) {
+    slowest_scan = std::max(slowest_scan, scans[i].sim_seconds);
+    if (!scans[i].local_to_mds) {
+      remote.push_back(i);
+      result.transferred_bytes += wire_bytes[i];
+      result.sim_transfer_seconds += net.transfer(wire_bytes[i]);
+    }
+  }
+  // Pipelined model: each transfer becomes ready when its scanner
+  // finishes; the single MDS ingress link serves them in readiness
+  // order (ties broken by server index for determinism).
+  std::sort(remote.begin(), remote.end(),
+            [&](std::size_t a, std::size_t b) {
+              return scans[a].sim_seconds != scans[b].sim_seconds
+                         ? scans[a].sim_seconds < scans[b].sim_seconds
+                         : a < b;
+            });
+  double link_free = 0.0;
+  for (const std::size_t i : remote) {
+    const double start = std::max(link_free, scans[i].sim_seconds);
+    link_free = start + net.transfer(wire_bytes[i]);
+  }
+  result.sim_pipeline_seconds = std::max(slowest_scan, link_free);
+}
+
+}  // namespace
+
 AggregationResult aggregate(std::span<const ScanResult> scans,
-                            const NetModel& net) {
+                            const NetModel& net, ThreadPool* pool) {
   WallTimer timer;
   AggregationResult result;
 
-  std::vector<PartialGraph> partials;
-  partials.reserve(scans.size());
-  for (const ScanResult& scan : scans) {
-    if (scan.local_to_mds) {
-      partials.push_back(scan.graph);
-    } else {
-      // Remote partial graphs cross the wire: encode, charge the
-      // transfer, decode on the MDS side.
-      const auto bytes = scan.graph.serialize();
-      result.transferred_bytes += bytes.size();
-      result.sim_transfer_seconds += net.transfer(bytes.size());
-      partials.push_back(PartialGraph::deserialize(bytes));
+  std::vector<PartialGraph> partials(scans.size());
+  std::vector<std::uint64_t> wire_bytes(scans.size(), 0);
+  if (pool != nullptr && pool->size() > 1 && scans.size() > 1) {
+    TaskGroup group(*pool);
+    for (std::size_t i = 0; i < scans.size(); ++i) {
+      group.submit([&scans, &partials, &wire_bytes, i] {
+        decode_partial(scans[i], partials[i], wire_bytes[i]);
+      });
+    }
+    group.wait();
+  } else {
+    for (std::size_t i = 0; i < scans.size(); ++i) {
+      decode_partial(scans[i], partials[i], wire_bytes[i]);
     }
   }
 
-  result.graph = UnifiedGraph::aggregate(partials);
+  account_transfers(scans, wire_bytes, net, result);
+  result.graph = UnifiedGraph::aggregate(partials, pool);
   result.wall_seconds = timer.seconds();
   return result;
+}
+
+PipelineResult scan_and_aggregate(const LustreCluster& cluster,
+                                  ThreadPool* pool, const DiskModel& mdt_disk,
+                                  const DiskModel& ost_disk,
+                                  const NetModel& net) {
+  WallTimer total_timer;
+  PipelineResult out;
+  ClusterScan& scan = out.scan;
+
+  const std::size_t mdt_count = cluster.mdt_count();
+  const std::size_t server_count = mdt_count + cluster.osts().size();
+  scan.results.resize(server_count);
+  std::vector<PartialGraph> partials(server_count);
+  std::vector<std::uint64_t> wire_bytes(server_count, 0);
+  double scan_wall = 0.0;
+
+  if (pool != nullptr && pool->size() > 1 && server_count > 0) {
+    // Scanners announce completion through a bounded queue; the caller
+    // drains it and hands each finished partial straight to a decode
+    // task, so wire decode overlaps the still-running scans.
+    BoundedQueue<std::size_t> finished(
+        std::max<std::size_t>(std::size_t{2}, pool->size()));
+    TaskGroup scanners(*pool);
+    TaskGroup decoders(*pool);
+    for (std::size_t m = 0; m < mdt_count; ++m) {
+      scanners.submit([&, m] {
+        try {
+          scan.results[m] = scan_mdt(cluster.mdt_server(m), mdt_disk);
+        } catch (...) {
+          finished.push(m);  // keep the consumer's pop count exact
+          throw;
+        }
+        finished.push(m);
+      });
+    }
+    for (std::size_t i = 0; i < cluster.osts().size(); ++i) {
+      scanners.submit([&, i, mdt_count] {
+        const std::size_t slot = mdt_count + i;
+        try {
+          scan.results[slot] = scan_ost(cluster.osts()[i], ost_disk);
+        } catch (...) {
+          finished.push(slot);
+          throw;
+        }
+        finished.push(slot);
+      });
+    }
+    for (std::size_t k = 0; k < server_count; ++k) {
+      const std::size_t i = finished.pop();
+      decoders.submit([&scan, &partials, &wire_bytes, i] {
+        decode_partial(scan.results[i], partials[i], wire_bytes[i]);
+      });
+    }
+    scan_wall = total_timer.seconds();  // every scanner has reported
+    scanners.wait();                    // rethrows a failed scan
+    decoders.wait();
+  } else {
+    for (std::size_t m = 0; m < mdt_count; ++m) {
+      scan.results[m] = scan_mdt(cluster.mdt_server(m), mdt_disk);
+    }
+    for (std::size_t i = 0; i < cluster.osts().size(); ++i) {
+      scan.results[mdt_count + i] = scan_ost(cluster.osts()[i], ost_disk);
+    }
+    scan_wall = total_timer.seconds();
+    for (std::size_t i = 0; i < server_count; ++i) {
+      decode_partial(scan.results[i], partials[i], wire_bytes[i]);
+    }
+  }
+
+  scan.wall_seconds = scan_wall;
+  for (const auto& result : scan.results) {
+    // Each server scans its own disks concurrently; the cluster-level
+    // virtual scan time is the slowest server.
+    scan.sim_seconds = std::max(scan.sim_seconds, result.sim_seconds);
+    scan.inodes_scanned += result.inodes_scanned;
+  }
+
+  account_transfers(scan.results, wire_bytes, net, out.agg);
+  out.agg.graph = UnifiedGraph::aggregate(partials, pool);
+  out.wall_seconds = total_timer.seconds();
+  out.agg.wall_seconds = std::max(0.0, out.wall_seconds - scan_wall);
+  return out;
 }
 
 }  // namespace faultyrank

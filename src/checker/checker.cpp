@@ -1,5 +1,7 @@
 #include "checker/checker.h"
 
+#include <algorithm>
+
 #include "common/timer.h"
 #include "pfs/persistence.h"
 
@@ -11,14 +13,19 @@ namespace {
 CheckerResult run_pass(LustreCluster& cluster, const CheckerConfig& config) {
   CheckerResult result;
 
-  const ClusterScan scan = scan_cluster(cluster, config.pool,
-                                        config.mdt_disk, config.ost_disk);
+  // Streaming pipeline: scanners hand each finished partial straight to
+  // the decoder, and the merge itself runs on the pool. Graph and sim
+  // numbers are identical to the barriered serial path.
+  const PipelineResult pipeline = scan_and_aggregate(
+      cluster, config.pool, config.mdt_disk, config.ost_disk, config.net);
+  const ClusterScan& scan = pipeline.scan;
+  const AggregationResult& aggregated = pipeline.agg;
   result.timings.t_scan_sim = scan.sim_seconds;
   result.timings.t_scan_wall = scan.wall_seconds;
   result.inodes_scanned = scan.inodes_scanned;
 
-  AggregationResult aggregated = aggregate(scan.results, config.net);
-  result.timings.t_graph_sim = aggregated.sim_transfer_seconds;
+  result.timings.t_graph_sim =
+      std::max(0.0, aggregated.sim_pipeline_seconds - scan.sim_seconds);
   result.timings.t_graph_wall = aggregated.wall_seconds;
   result.vertices = aggregated.graph.vertex_count();
   result.edges = aggregated.graph.edge_count();

@@ -42,7 +42,11 @@ struct CheckerConfig {
 struct CheckerTimings {
   double t_scan_sim = 0.0;
   double t_scan_wall = 0.0;
-  double t_graph_sim = 0.0;   ///< network transfer (virtual)
+  /// Virtual transfer time that could NOT be hidden behind the scans:
+  /// the pipelined scan→transfer finish time minus the slowest scanner
+  /// (transfers stream to the MDS as each scanner completes, so most of
+  /// the wire time overlaps scanning — DESIGN.md §7).
+  double t_graph_sim = 0.0;
   double t_graph_wall = 0.0;  ///< merge + remap + CSR build (measured)
   double t_fr_wall = 0.0;     ///< iterations + detection (measured)
 

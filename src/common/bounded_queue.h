@@ -1,0 +1,58 @@
+// A minimal bounded MPMC queue for pipeline handoff.
+//
+// The streaming scan→aggregate pipeline uses it to hand each finished
+// per-server ScanResult (by index) from the scanner tasks to the
+// aggregating consumer as soon as it completes, instead of barriering
+// on the whole cluster scan. The bound provides backpressure: scanners
+// stall rather than letting decode work pile up unboundedly ahead of
+// the consumer.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace faultyrank {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full.
+  void push(T value) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [this] { return items_.size() < capacity_; });
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+  }
+
+  /// Blocks while the queue is empty. The caller tracks how many items
+  /// are still owed (producer count is known up front in the pipeline),
+  /// so no close/poison protocol is needed.
+  [[nodiscard]] T pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [this] { return !items_.empty(); });
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+ private:
+  const std::size_t capacity_;
+  std::deque<T> items_;
+  std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+};
+
+}  // namespace faultyrank

@@ -1,8 +1,67 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <utility>
 
 namespace faultyrank {
+
+TaskGroup::~TaskGroup() {
+  std::unique_lock lock(pool_.mutex_);
+  while (pending_ > 0) {
+    // Drain like wait(), stealing our own queued tasks, but swallow the
+    // exception slot: destructors must not throw.
+    auto it = std::find_if(pool_.queue_.begin(), pool_.queue_.end(),
+                           [this](const auto& t) { return t.group == this; });
+    if (it != pool_.queue_.end()) {
+      ThreadPool::Task task = std::move(*it);
+      pool_.queue_.erase(it);
+      lock.unlock();
+      pool_.run_task(std::move(task));
+      lock.lock();
+      continue;
+    }
+    done_.wait(lock);
+  }
+}
+
+void TaskGroup::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(pool_.mutex_);
+    if (pool_.stopping_) {
+      throw std::runtime_error("thread pool: submit after shutdown");
+    }
+    pool_.queue_.push_back({this, std::move(task)});
+    ++pending_;
+    ++pool_.in_flight_;
+  }
+  pool_.work_available_.notify_one();
+  // A waiter blocked in wait() can steal the new task even if every
+  // worker is busy — required for progress under nesting.
+  done_.notify_all();
+}
+
+void TaskGroup::wait() {
+  std::unique_lock lock(pool_.mutex_);
+  while (pending_ > 0) {
+    auto it = std::find_if(pool_.queue_.begin(), pool_.queue_.end(),
+                           [this](const auto& t) { return t.group == this; });
+    if (it != pool_.queue_.end()) {
+      ThreadPool::Task task = std::move(*it);
+      pool_.queue_.erase(it);
+      lock.unlock();
+      pool_.run_task(std::move(task));
+      lock.lock();
+      continue;
+    }
+    done_.wait(lock);
+  }
+  if (exception_ != nullptr) {
+    std::exception_ptr first = std::exchange(exception_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(first);
+  }
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -14,9 +73,12 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard lock(mutex_);
+    if (stopping_) return;
     stopping_ = true;
   }
   work_available_.notify_all();
@@ -24,50 +86,66 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
-  {
-    std::lock_guard lock(mutex_);
-    queue_.push(std::move(task));
-    ++in_flight_;
-  }
-  work_available_.notify_one();
+  default_group_.submit(std::move(task));
 }
 
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (default_group_.exception_ != nullptr) {
+    std::exception_ptr first = std::exchange(default_group_.exception_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(first);
+  }
 }
 
 void ThreadPool::parallel_for(
     std::size_t n,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
   if (n == 0) return;
-  const std::size_t chunks = std::min(n, size());
+  const std::size_t chunks = std::min(n, std::max<std::size_t>(size(), 1));
   const std::size_t per_chunk = (n + chunks - 1) / chunks;
+  TaskGroup group(*this);
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t begin = c * per_chunk;
     const std::size_t end = std::min(n, begin + per_chunk);
     if (begin >= end) break;
-    submit([&body, begin, end, c] { body(begin, end, c); });
+    group.submit([&body, begin, end, c] { body(begin, end, c); });
   }
-  wait_idle();
+  group.wait();
+}
+
+void ThreadPool::run_task(Task task) {
+  std::exception_ptr error;
+  try {
+    task.fn();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  {
+    std::lock_guard lock(mutex_);
+    if (error != nullptr && task.group->exception_ == nullptr) {
+      task.group->exception_ = error;
+    }
+    // Always settle the counters, even on failure — a throwing task
+    // must not wedge wait()/wait_idle().
+    if (--task.group->pending_ == 0) task.group->done_.notify_all();
+    if (--in_flight_ == 0) idle_.notify_all();
+  }
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(mutex_);
       work_available_.wait(lock,
                            [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
-      queue_.pop();
+      queue_.pop_front();
     }
-    task();
-    {
-      std::lock_guard lock(mutex_);
-      if (--in_flight_ == 0) idle_.notify_all();
-    }
+    run_task(std::move(task));
   }
 }
 

@@ -1,20 +1,66 @@
-// Minimal fixed-size thread pool with a blocking parallel_for.
+// Fixed-size thread pool with independent task groups.
 //
-// Used by the rank kernel (vertex-range partitioning) and the scanner
-// driver (one task per simulated server). Rank updates are pull-style,
-// so workers write disjoint output ranges and need no synchronization
-// beyond the fork/join barrier.
+// Used by the scanner driver (one task per simulated server), the
+// streaming aggregator, and the rank kernel (vertex-range
+// partitioning). Rank updates are pull-style, so workers write disjoint
+// output ranges and need no synchronization beyond the fork/join
+// barrier.
+//
+// Concurrency model: every task belongs to a TaskGroup, which carries
+// its own completion counter and captured-exception slot. Independent
+// callers (scanner, aggregator, rank kernel, online checker) can share
+// one pool without interfering through a global counter: each waits on
+// its own group. TaskGroup::wait() additionally *steals* queued tasks
+// belonging to its own group and runs them inline, so a worker that
+// starts a nested parallel_for makes progress even when every other
+// worker is busy — nesting cannot deadlock.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
 namespace faultyrank {
+
+class ThreadPool;
+
+/// A completion scope for a batch of related tasks. All state is
+/// guarded by the owning pool's mutex; the group must outlive its tasks
+/// (the destructor drains any still pending).
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+  /// Drains remaining tasks. A pending exception that was never
+  /// observed via wait() is dropped, not rethrown (destructors must not
+  /// throw) — call wait() if you care.
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues a task on the pool, tagged with this group.
+  /// Throws std::runtime_error if the pool has been shut down.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted to *this group* has finished.
+  /// While waiting, steals queued tasks of this group and runs them on
+  /// the calling thread (safe to call from inside a pool worker).
+  /// Rethrows the first exception any task of the group threw.
+  void wait();
+
+ private:
+  friend class ThreadPool;
+
+  ThreadPool& pool_;
+  std::size_t pending_ = 0;           // guarded by pool_.mutex_
+  std::exception_ptr exception_;      // first failure, guarded by pool_.mutex_
+  std::condition_variable done_;      // pending_ reached 0 / new steal target
+};
 
 class ThreadPool {
  public:
@@ -27,31 +73,57 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Enqueues a task. Tasks must not throw; exceptions escaping a task
-  /// terminate the process (checker passes report errors by value).
+  /// Enqueues an ungrouped task (it joins the pool's default group).
+  /// Prefer a TaskGroup when anything else might share the pool.
+  /// Throws std::runtime_error if the pool has been shut down.
   void submit(std::function<void()> task);
 
-  /// Blocks until every task submitted so far has finished.
+  /// Drain-all barrier: blocks until every task from *every* group has
+  /// finished, then rethrows the first exception an ungrouped task
+  /// threw. Footgun when the pool is shared — two concurrent callers
+  /// each observe the other's latency — so pipeline code uses
+  /// TaskGroup::wait() instead; this remains for callers that own the
+  /// pool exclusively (tests, one-shot tools).
   void wait_idle();
 
   /// Splits [0, n) into one contiguous chunk per worker and runs
   /// body(begin, end, chunk_index) on the pool; blocks until all chunks
-  /// complete. Chunk boundaries depend only on (n, size()), so results
-  /// of pull-style kernels are deterministic for a fixed thread count.
+  /// complete and rethrows the first exception a chunk threw. Runs in
+  /// its own TaskGroup, so concurrent parallel_for calls do not
+  /// interfere and nested calls from inside a worker cannot deadlock.
+  /// Chunk boundaries depend only on (n, size()), so results of
+  /// pull-style kernels are deterministic for a fixed thread count.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t,
                                              std::size_t)>& body);
 
+  /// Joins all workers after draining the queue. Subsequent submits
+  /// throw. Idempotent; the destructor calls it.
+  void shutdown();
+
  private:
+  friend class TaskGroup;
+
+  struct Task {
+    TaskGroup* group = nullptr;
+    std::function<void()> fn;
+  };
+
   void worker_loop();
+  /// Runs one task outside the lock, then settles its group's and the
+  /// pool's counters. Shared by workers and stealing waiters.
+  void run_task(Task task);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
-  std::size_t in_flight_ = 0;
+  std::size_t in_flight_ = 0;  // across all groups, for wait_idle()
   bool stopping_ = false;
+  /// Group for ungrouped submit(); declared last so it is destroyed
+  /// first, after ~ThreadPool's body has already joined the workers.
+  TaskGroup default_group_{*this};
 };
 
 }  // namespace faultyrank

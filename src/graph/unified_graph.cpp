@@ -1,38 +1,195 @@
 #include "graph/unified_graph.h"
 
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/thread_pool.h"
+
 namespace faultyrank {
 
-UnifiedGraph UnifiedGraph::aggregate(std::span<const PartialGraph> partials) {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parallel deterministic FID interning.
+//
+// The serial path interns FIDs in a single global first-seen order over
+// the sequence [all partials' vertices] ++ [all partials' edge
+// endpoints, src then dst]. To parallelize without changing a single
+// GID, the FID space is split into hash shards: every shard thread
+// walks the same global sequence, keeps only the FIDs it owns, and
+// records each unique FID with the global position of its first
+// occurrence. Shard outputs are therefore naturally sorted by that
+// position, and a k-way merge reassembles the exact serial intern
+// order, from which GIDs are assigned.
+// ---------------------------------------------------------------------------
+
+struct ShardEntry {
+  Fid fid;
+  std::uint64_t first_pos = 0;
+  Gid gid = 0;
+  ObjectKind kind = ObjectKind::kPhantom;
+  std::uint8_t scan_count = 0;
+};
+
+struct Shard {
+  std::unordered_map<Fid, std::uint32_t, FidHash> index;  // fid → entries idx
+  std::vector<ShardEntry> entries;  // first-seen order == sorted by first_pos
+};
+
+/// Walks the global intern sequence and fills one shard. Mirrors
+/// VertexTable::intern_scanned / intern_referenced semantics exactly:
+/// the kind of the last scanned occurrence wins, scan counts saturate
+/// at 255, edge endpoints create phantoms.
+void fill_shard(std::span<const PartialGraph> partials,
+                std::uint64_t vertex_total, std::size_t shard_id,
+                std::size_t shard_count, Shard& shard) {
+  const auto owns = [&](const Fid& fid) {
+    return FidHash{}(fid) % shard_count == shard_id;
+  };
+  const auto intern = [&](const Fid& fid, std::uint64_t pos, bool scanned,
+                          ObjectKind kind) {
+    if (auto it = shard.index.find(fid); it != shard.index.end()) {
+      ShardEntry& entry = shard.entries[it->second];
+      if (scanned) {
+        entry.kind = kind;
+        if (entry.scan_count < 255) ++entry.scan_count;
+      }
+      return;
+    }
+    shard.index.emplace(fid, static_cast<std::uint32_t>(shard.entries.size()));
+    shard.entries.push_back({fid, pos, 0, scanned ? kind : ObjectKind::kPhantom,
+                             static_cast<std::uint8_t>(scanned ? 1 : 0)});
+  };
+
+  std::uint64_t pos = 0;
+  for (const PartialGraph& partial : partials) {
+    for (const VertexRecord& vertex : partial.vertices) {
+      if (owns(vertex.fid)) intern(vertex.fid, pos, true, vertex.kind);
+      ++pos;
+    }
+  }
+  pos = vertex_total;
+  for (const PartialGraph& partial : partials) {
+    for (const FidEdge& edge : partial.edges) {
+      if (owns(edge.src)) intern(edge.src, pos, false, ObjectKind::kPhantom);
+      ++pos;
+      if (owns(edge.dst)) intern(edge.dst, pos, false, ObjectKind::kPhantom);
+      ++pos;
+    }
+  }
+}
+
+}  // namespace
+
+UnifiedGraph UnifiedGraph::aggregate(std::span<const PartialGraph> partials,
+                                     ThreadPool* pool) {
   UnifiedGraph g;
-  std::size_t total_vertices = 0;
-  for (const auto& partial : partials) total_vertices += partial.vertices.size();
-  g.vertices_.reserve(total_vertices);
-  // Pass 1: intern every scanned object so GIDs for real objects come
-  // before phantoms (not required for correctness, but keeps dumps tidy
-  // and deterministic).
-  for (const auto& partial : partials) {
-    for (const auto& vertex : partial.vertices) {
-      g.vertices_.intern_scanned(vertex.fid, vertex.kind);
+  std::uint64_t total_vertices = 0;
+  std::uint64_t total_edges = 0;
+  // Prefix offsets let parallel stages address the flattened edge
+  // sequence without copying it.
+  std::vector<std::uint64_t> edge_offset(partials.size() + 1, 0);
+  for (std::size_t p = 0; p < partials.size(); ++p) {
+    total_vertices += partials[p].vertices.size();
+    edge_offset[p + 1] = edge_offset[p] + partials[p].edges.size();
+  }
+  total_edges = edge_offset[partials.size()];
+
+  if (pool == nullptr || pool->size() <= 1) {
+    // Serial reference path: the parallel path below must reproduce its
+    // GIDs, kinds, and scan counts bit for bit.
+    g.vertices_.reserve(total_vertices);
+    for (const auto& partial : partials) {
+      for (const auto& vertex : partial.vertices) {
+        g.vertices_.intern_scanned(vertex.fid, vertex.kind);
+      }
+    }
+    std::vector<GidEdge> edges;
+    edges.reserve(total_edges);
+    for (const auto& partial : partials) {
+      for (const auto& e : partial.edges) {
+        const Gid src = g.vertices_.intern_referenced(e.src);
+        const Gid dst = g.vertices_.intern_referenced(e.dst);
+        edges.push_back({src, dst, e.kind});
+      }
+    }
+    g.finalize(std::move(edges), nullptr);
+    return g;
+  }
+
+  // --- Phase 1: shard-parallel interning. ---
+  const std::size_t shard_count = pool->size();
+  std::vector<Shard> shards(shard_count);
+  {
+    TaskGroup group(*pool);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      group.submit([&, s] {
+        shards[s].index.reserve(total_vertices / shard_count + 16);
+        fill_shard(partials, total_vertices, s, shard_count, shards[s]);
+      });
+    }
+    group.wait();
+  }
+
+  // --- Phase 2: deterministic merge — k-way by global first-seen
+  // position (positions are unique, so the order is total). ---
+  std::size_t unique_count = 0;
+  for (const Shard& shard : shards) unique_count += shard.entries.size();
+  std::vector<Fid> fids(unique_count);
+  std::vector<ObjectKind> kinds(unique_count);
+  std::vector<std::uint8_t> scanned(unique_count);
+  {
+    std::vector<std::size_t> heads(shard_count, 0);
+    for (std::size_t gid = 0; gid < unique_count; ++gid) {
+      std::size_t best = shard_count;
+      std::uint64_t best_pos = 0;
+      for (std::size_t s = 0; s < shard_count; ++s) {
+        if (heads[s] >= shards[s].entries.size()) continue;
+        const std::uint64_t pos = shards[s].entries[heads[s]].first_pos;
+        if (best == shard_count || pos < best_pos) {
+          best = s;
+          best_pos = pos;
+        }
+      }
+      ShardEntry& entry = shards[best].entries[heads[best]++];
+      entry.gid = static_cast<Gid>(gid);
+      fids[gid] = entry.fid;
+      kinds[gid] = entry.kind;
+      scanned[gid] = entry.scan_count;
     }
   }
-  // Pass 2: remap edges; unknown endpoints become phantoms.
-  std::vector<GidEdge> edges;
-  std::size_t total_edges = 0;
-  for (const auto& partial : partials) total_edges += partial.edges.size();
-  edges.reserve(total_edges);
-  for (const auto& partial : partials) {
-    for (const auto& e : partial.edges) {
-      const Gid src = g.vertices_.intern_referenced(e.src);
-      const Gid dst = g.vertices_.intern_referenced(e.dst);
-      edges.push_back({src, dst, e.kind});
-    }
-  }
-  g.finalize(std::move(edges));
+  g.vertices_ = VertexTable::from_columns(std::move(fids), std::move(kinds),
+                                          std::move(scanned));
+
+  // --- Phase 3: parallel edge remap via the (now read-only) shards. ---
+  std::vector<GidEdge> edges(total_edges);
+  const auto gid_of = [&](const Fid& fid) {
+    const Shard& shard = shards[FidHash{}(fid) % shard_count];
+    return shard.entries[shard.index.find(fid)->second].gid;
+  };
+  pool->parallel_for(
+      total_edges, [&](std::size_t begin, std::size_t end, std::size_t) {
+        std::size_t p = static_cast<std::size_t>(
+            std::upper_bound(edge_offset.begin(), edge_offset.end(), begin) -
+            edge_offset.begin() - 1);
+        std::size_t local = begin - edge_offset[p];
+        for (std::size_t slot = begin; slot < end; ++slot) {
+          while (local >= partials[p].edges.size()) {
+            ++p;
+            local = 0;
+          }
+          const FidEdge& e = partials[p].edges[local++];
+          edges[slot] = {gid_of(e.src), gid_of(e.dst), e.kind};
+        }
+      });
+
+  g.finalize(std::move(edges), pool);
   return g;
 }
 
 UnifiedGraph UnifiedGraph::from_edges(std::size_t vertex_count,
-                                      std::span<const GidEdge> edges) {
+                                      std::span<const GidEdge> edges,
+                                      ThreadPool* pool) {
   UnifiedGraph g;
   g.vertices_.reserve(vertex_count);
   for (std::size_t v = 0; v < vertex_count; ++v) {
@@ -41,11 +198,11 @@ UnifiedGraph UnifiedGraph::from_edges(std::size_t vertex_count,
         Fid{/*seq=*/1, /*oid=*/static_cast<std::uint32_t>(v), /*ver=*/0},
         ObjectKind::kOther);
   }
-  g.finalize(std::vector<GidEdge>(edges.begin(), edges.end()));
+  g.finalize(std::vector<GidEdge>(edges.begin(), edges.end()), pool);
   return g;
 }
 
-void UnifiedGraph::finalize(std::vector<GidEdge> edges) {
+void UnifiedGraph::finalize(std::vector<GidEdge> edges, ThreadPool* pool) {
   forward_ = Csr::build(vertices_.size(), edges);
   reverse_ = forward_.reversed();
 
@@ -55,20 +212,72 @@ void UnifiedGraph::finalize(std::vector<GidEdge> edges) {
   in_unpaired_.assign(n, 0);
   unpaired_.clear();
 
-  for (Gid u = 0; u < n; ++u) {
-    for (auto slot = forward_.edges_begin(u); slot < forward_.edges_end(u);
-         ++slot) {
-      const Gid v = forward_.target(slot);
-      const bool is_paired = forward_.has_edge(v, u);
-      forward_paired_[slot] = is_paired ? 1 : 0;
-      if (is_paired) {
-        ++in_paired_[v];
-      } else {
-        ++in_unpaired_[v];
-        unpaired_.push_back({u, v, forward_.kind(slot)});
+  if (pool == nullptr || pool->size() <= 1 || n == 0) {
+    for (Gid u = 0; u < n; ++u) {
+      for (auto slot = forward_.edges_begin(u); slot < forward_.edges_end(u);
+           ++slot) {
+        const Gid v = forward_.target(slot);
+        const bool is_paired = forward_.has_edge(v, u);
+        forward_paired_[slot] = is_paired ? 1 : 0;
+        if (is_paired) {
+          ++in_paired_[v];
+        } else {
+          ++in_unpaired_[v];
+          unpaired_.push_back({u, v, forward_.kind(slot)});
+        }
       }
     }
+    return;
   }
+
+  // Pass A (parallel over source-vertex ranges): pairing flags land in
+  // disjoint slot ranges; unpaired edges collect into per-chunk buffers
+  // whose concatenation in chunk order reproduces the serial (src-Gid,
+  // slot) ordering exactly.
+  std::vector<std::vector<UnpairedEdge>> chunk_unpaired(
+      std::min(n, pool->size()));
+  pool->parallel_for(
+      n, [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+        auto& local = chunk_unpaired[chunk];
+        for (Gid u = static_cast<Gid>(begin); u < end; ++u) {
+          for (auto slot = forward_.edges_begin(u);
+               slot < forward_.edges_end(u); ++slot) {
+            const Gid v = forward_.target(slot);
+            const bool is_paired = forward_.has_edge(v, u);
+            forward_paired_[slot] = is_paired ? 1 : 0;
+            if (!is_paired) local.push_back({u, v, forward_.kind(slot)});
+          }
+        }
+      });
+  std::size_t unpaired_total = 0;
+  for (const auto& local : chunk_unpaired) unpaired_total += local.size();
+  unpaired_.reserve(unpaired_total);
+  for (const auto& local : chunk_unpaired) {
+    unpaired_.insert(unpaired_.end(), local.begin(), local.end());
+  }
+
+  // Pass B (parallel over target-vertex ranges): each in-edge u→v of v
+  // is re-tested with the same predicate the serial loop used
+  // (has_edge(v, u)), so the per-vertex counts are race-free and
+  // identical to the serial scatter.
+  pool->parallel_for(n,
+                     [&](std::size_t begin, std::size_t end, std::size_t) {
+                       for (Gid v = static_cast<Gid>(begin); v < end; ++v) {
+                         std::uint32_t paired = 0;
+                         std::uint32_t unpaired = 0;
+                         for (auto slot = reverse_.edges_begin(v);
+                              slot < reverse_.edges_end(v); ++slot) {
+                           const Gid u = reverse_.target(slot);
+                           if (forward_.has_edge(v, u)) {
+                             ++paired;
+                           } else {
+                             ++unpaired;
+                           }
+                         }
+                         in_paired_[v] = paired;
+                         in_unpaired_[v] = unpaired;
+                       }
+                     });
 }
 
 std::uint64_t UnifiedGraph::bytes() const {

@@ -36,6 +36,14 @@ class VertexTable {
   /// Returns the GID for `fid`, or kInvalidGid if never interned.
   [[nodiscard]] Gid lookup(const Fid& fid) const;
 
+  /// Assembles a table whose column arrays were produced elsewhere (the
+  /// parallel aggregator's shard merge): entry i becomes GID i. FIDs
+  /// must be unique; `scanned` holds the saturating scan counts. The
+  /// lookup index is rebuilt here.
+  [[nodiscard]] static VertexTable from_columns(
+      std::vector<Fid> fids, std::vector<ObjectKind> kinds,
+      std::vector<std::uint8_t> scanned);
+
   [[nodiscard]] const Fid& fid_of(Gid gid) const { return fids_[gid]; }
   [[nodiscard]] ObjectKind kind_of(Gid gid) const { return kinds_[gid]; }
   [[nodiscard]] bool is_scanned(Gid gid) const { return scanned_[gid] != 0; }

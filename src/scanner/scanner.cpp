@@ -101,17 +101,20 @@ ClusterScan scan_cluster(const LustreCluster& cluster, ThreadPool* pool,
   scan.results.resize(mdt_count + cluster.osts().size());
 
   if (pool != nullptr && pool->size() > 1) {
+    // Own task group: waiting here does not observe unrelated work
+    // other submitters may have in flight on a shared pool.
+    TaskGroup group(*pool);
     for (std::size_t m = 0; m < mdt_count; ++m) {
-      pool->submit([&, m] {
+      group.submit([&, m] {
         scan.results[m] = scan_mdt(cluster.mdt_server(m), mdt_disk);
       });
     }
     for (std::size_t i = 0; i < cluster.osts().size(); ++i) {
-      pool->submit([&, i, mdt_count] {
+      group.submit([&, i, mdt_count] {
         scan.results[mdt_count + i] = scan_ost(cluster.osts()[i], ost_disk);
       });
     }
-    pool->wait_idle();
+    group.wait();
   } else {
     for (std::size_t m = 0; m < mdt_count; ++m) {
       scan.results[m] = scan_mdt(cluster.mdt_server(m), mdt_disk);

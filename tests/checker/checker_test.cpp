@@ -27,7 +27,10 @@ TEST(CheckerTest, TimingBreakdownIsPopulated) {
   LustreCluster cluster = testing::make_populated_cluster(150, 42);
   const CheckerResult result = run_checker(cluster);
   EXPECT_GT(result.timings.t_scan_sim, 0.0);
-  EXPECT_GT(result.timings.t_graph_sim, 0.0);
+  // Transfers stream to the MDS while slower scanners are still
+  // running, so t_graph_sim carries only the unhidden surplus — which
+  // a small cluster can pipeline away entirely.
+  EXPECT_GE(result.timings.t_graph_sim, 0.0);
   EXPECT_GE(result.timings.t_fr_wall, 0.0);
   EXPECT_GE(result.timings.total_sim(),
             result.timings.t_scan_sim + result.timings.t_graph_sim);

@@ -1,0 +1,165 @@
+// The parallel aggregation pipeline must be bit-identical to the serial
+// reference path: same GIDs, same CSR, same pairing flags, same
+// unpaired-edge ordering — for any thread count.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "aggregator/aggregator.h"
+#include "common/thread_pool.h"
+#include "faults/injector.h"
+#include "graph/unified_graph.h"
+#include "scanner/scanner.h"
+#include "testing/fixtures.h"
+#include "workload/rmat.h"
+
+namespace faultyrank {
+namespace {
+
+/// Asserts byte-for-byte equality of everything downstream consumers
+/// read: vertex table columns, forward + reverse CSR, pairing flags,
+/// in-degree splits, and the unpaired-edge list in its exact order.
+void expect_identical(const UnifiedGraph& expected, const UnifiedGraph& actual) {
+  ASSERT_EQ(expected.vertex_count(), actual.vertex_count());
+  ASSERT_EQ(expected.edge_count(), actual.edge_count());
+
+  const std::size_t n = expected.vertex_count();
+  for (Gid v = 0; v < n; ++v) {
+    ASSERT_EQ(expected.vertices().fid_of(v), actual.vertices().fid_of(v))
+        << "gid " << v;
+    ASSERT_EQ(expected.vertices().kind_of(v), actual.vertices().kind_of(v))
+        << "gid " << v;
+    ASSERT_EQ(expected.vertices().scan_count(v),
+              actual.vertices().scan_count(v))
+        << "gid " << v;
+    ASSERT_EQ(expected.paired_in_degree(v), actual.paired_in_degree(v))
+        << "gid " << v;
+    ASSERT_EQ(expected.unpaired_in_degree(v), actual.unpaired_in_degree(v))
+        << "gid " << v;
+  }
+
+  const auto compare_csr = [&](const Csr& want, const Csr& got,
+                               const char* which) {
+    ASSERT_EQ(want.vertex_count(), got.vertex_count()) << which;
+    ASSERT_EQ(want.edge_count(), got.edge_count()) << which;
+    for (Gid v = 0; v < want.vertex_count(); ++v) {
+      ASSERT_EQ(want.edges_begin(v), got.edges_begin(v)) << which << " " << v;
+      ASSERT_EQ(want.edges_end(v), got.edges_end(v)) << which << " " << v;
+      for (auto slot = want.edges_begin(v); slot < want.edges_end(v); ++slot) {
+        ASSERT_EQ(want.target(slot), got.target(slot))
+            << which << " slot " << slot;
+        ASSERT_EQ(want.kind(slot), got.kind(slot)) << which << " slot " << slot;
+      }
+    }
+  };
+  compare_csr(expected.forward(), actual.forward(), "forward");
+  compare_csr(expected.reverse(), actual.reverse(), "reverse");
+
+  for (std::uint64_t slot = 0; slot < expected.edge_count(); ++slot) {
+    ASSERT_EQ(expected.paired(slot), actual.paired(slot)) << "slot " << slot;
+  }
+  ASSERT_EQ(expected.unpaired_edges(), actual.unpaired_edges());
+}
+
+/// Partials engineered to hit every interning wrinkle: cross-partial
+/// duplicate scans (double-reference), phantom endpoints, last-wins
+/// kind upgrades, and edges seen before/after their vertices.
+std::vector<PartialGraph> make_adversarial_partials() {
+  std::vector<PartialGraph> partials(3);
+  auto fid = [](std::uint64_t seq, std::uint32_t oid) {
+    return Fid{seq, oid, 0};
+  };
+  for (std::uint32_t i = 0; i < 400; ++i) {
+    PartialGraph& p = partials[i % 2];
+    p.add_vertex(fid(1, i), i % 3 == 0 ? ObjectKind::kDirectory
+                                       : ObjectKind::kFile);
+    // Edges to scanned, later-scanned, and never-scanned (phantom) fids.
+    p.add_edge(fid(1, i), fid(1, (i * 7 + 3) % 400), EdgeKind::kDirent);
+    p.add_edge(fid(1, (i * 7 + 3) % 400), fid(1, i), EdgeKind::kLinkEa);
+    if (i % 5 == 0) {
+      p.add_edge(fid(1, i), fid(0xdead, i), EdgeKind::kLovEa);  // phantom
+    }
+  }
+  // Double-reference: the same FID scanned on two servers, with a kind
+  // upgrade on the second sighting.
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    partials[2].add_vertex(fid(1, i * 4), ObjectKind::kStripeObject);
+    partials[2].add_edge(fid(0xdead, i * 4), fid(1, i * 4),
+                         EdgeKind::kObjParent);
+  }
+  return partials;
+}
+
+TEST(ParallelAggregateTest, RmatFinalizeMatchesSerialForAnyThreadCount) {
+  const GeneratedGraph rmat = generate_rmat({.scale = 12, .avg_degree = 8});
+  const UnifiedGraph serial =
+      UnifiedGraph::from_edges(rmat.vertex_count, rmat.edges);
+  ASSERT_FALSE(serial.unpaired_edges().empty());  // RMAT is mostly unpaired
+  for (const std::size_t threads : {2u, 3u, 7u}) {
+    ThreadPool pool(threads);
+    const UnifiedGraph parallel =
+        UnifiedGraph::from_edges(rmat.vertex_count, rmat.edges, &pool);
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(ParallelAggregateTest, AdversarialPartialsMatchSerial) {
+  const std::vector<PartialGraph> partials = make_adversarial_partials();
+  const UnifiedGraph serial = UnifiedGraph::aggregate(partials);
+  for (const std::size_t threads : {2u, 5u}) {
+    ThreadPool pool(threads);
+    const UnifiedGraph parallel = UnifiedGraph::aggregate(partials, &pool);
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(ParallelAggregateTest, ClusterScanAggregateMatchesSerial) {
+  LustreCluster cluster = testing::make_populated_cluster(200, 91);
+  FaultInjector injector(cluster, 92);
+  injector.inject_campaign(5);  // unpaired edges + phantoms in the graph
+  const ClusterScan scan = scan_cluster(cluster);
+
+  const AggregationResult serial = aggregate(scan.results);
+  ThreadPool pool(4);
+  const AggregationResult parallel = aggregate(scan.results, {}, &pool);
+  expect_identical(serial.graph, parallel.graph);
+  EXPECT_EQ(serial.transferred_bytes, parallel.transferred_bytes);
+  EXPECT_DOUBLE_EQ(serial.sim_transfer_seconds, parallel.sim_transfer_seconds);
+  EXPECT_DOUBLE_EQ(serial.sim_pipeline_seconds, parallel.sim_pipeline_seconds);
+}
+
+TEST(ParallelAggregateTest, StreamingPipelineMatchesBatchPath) {
+  LustreCluster cluster = testing::make_populated_cluster(150, 93);
+  FaultInjector injector(cluster, 94);
+  injector.inject_campaign(3);
+
+  const ClusterScan scan = scan_cluster(cluster);
+  const AggregationResult batch = aggregate(scan.results);
+
+  ThreadPool pool(4);
+  const PipelineResult streamed = scan_and_aggregate(cluster, &pool);
+
+  expect_identical(batch.graph, streamed.agg.graph);
+  EXPECT_EQ(batch.transferred_bytes, streamed.agg.transferred_bytes);
+  EXPECT_DOUBLE_EQ(batch.sim_transfer_seconds,
+                   streamed.agg.sim_transfer_seconds);
+  EXPECT_DOUBLE_EQ(batch.sim_pipeline_seconds,
+                   streamed.agg.sim_pipeline_seconds);
+  EXPECT_DOUBLE_EQ(scan.sim_seconds, streamed.scan.sim_seconds);
+  EXPECT_EQ(scan.inodes_scanned, streamed.scan.inodes_scanned);
+}
+
+TEST(ParallelAggregateTest, PipelinedSimTimeOverlapsTransfers) {
+  LustreCluster cluster = testing::make_populated_cluster(150, 95);
+  const ClusterScan scan = scan_cluster(cluster);
+  const AggregationResult agg = aggregate(scan.results);
+  // Overlapped finish time is bounded by the barriered accounting and
+  // can never beat the slowest scanner alone.
+  EXPECT_LE(agg.sim_pipeline_seconds,
+            scan.sim_seconds + agg.sim_transfer_seconds);
+  EXPECT_GE(agg.sim_pipeline_seconds, scan.sim_seconds);
+  EXPECT_GT(agg.sim_transfer_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace faultyrank
