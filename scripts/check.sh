@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# One-command correctness gate (DESIGN.md §8): default build + full
+# ctest, the TSan concurrency suite, the ASan+UBSan full suite, and the
+# fr_lint static pass. CI and pre-merge both run exactly this.
+#
+# Usage: scripts/check.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+run() {
+  echo
+  echo "==> $*"
+  "$@"
+}
+
+# 1. Default build, full test suite (includes the `static` fr_lint
+#    tests: self-test fixtures + zero violations over src/ and bench/).
+run cmake --preset default
+run cmake --build --preset default -j "${JOBS}"
+run ctest --preset default -j "${JOBS}" --output-on-failure
+
+# 2. ThreadSanitizer over the concurrency-labelled suite (pool torture,
+#    bounded-queue edge cases, parallel-aggregation determinism).
+run cmake --preset tsan
+run cmake --build --preset tsan -j "${JOBS}"
+run ctest --preset tsan -j "${JOBS}"
+
+# 3. ASan+UBSan over the full suite; UB aborts (no recover), so any
+#    finding is a hard test failure.
+run cmake --preset ubsan
+run cmake --build --preset ubsan -j "${JOBS}"
+run ctest --preset ubsan -j "${JOBS}"
+
+# 4. Explicit fr_lint invocation for a readable tail even though the
+#    default suite already gates on it.
+run ./build/tools/fr_lint src bench
+
+echo
+echo "check.sh: all gates green"

@@ -133,7 +133,9 @@ PipelineResult scan_and_aggregate(const LustreCluster& cluster,
       });
     }
     for (std::size_t k = 0; k < server_count; ++k) {
-      const std::size_t i = finished.pop();
+      // The pop count equals the scanner count and the queue is never
+      // closed here, so every pop yields a value.
+      const std::size_t i = finished.pop().value();
       decoders.submit([&scan, &partials, &wire_bytes, i] {
         decode_partial(scan.results[i], partials[i], wire_bytes[i]);
       });

@@ -1,5 +1,10 @@
 // Tiny leveled logger. Benches and examples log milestones at Info;
 // library code logs only at Debug so default output stays clean.
+//
+// Thread-safe: the level gate is a relaxed atomic read (no lock on the
+// dropped-message fast path) and each message is formatted off-lock,
+// then written to the sink as a single line under a mutex, so lines
+// from concurrent scanner/aggregator tasks never interleave.
 #pragma once
 
 #include <cstdarg>
@@ -13,7 +18,13 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 
-/// printf-style logging to stderr with a level prefix.
+/// Redirects log output to `sink` (nullptr restores the default,
+/// stderr) and returns the previous sink (nullptr if it was the
+/// default). The sink must stay open until replaced.
+std::FILE* set_log_sink(std::FILE* sink);
+
+/// printf-style logging to the sink with a level prefix; one atomic
+/// line per call (truncated with ellipsis past ~1 KiB).
 void log(LogLevel level, const char* fmt, ...)
     __attribute__((format(printf, 2, 3)));
 

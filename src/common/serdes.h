@@ -1,12 +1,21 @@
 // Little binary serialization helpers for partial-graph transfer and
 // edge-list persistence. Fixed-width little-endian encoding; readers
 // validate framing and throw SerdesError on corruption/truncation.
+//
+// Hardened for hostile input: bounds checks are written as
+// `need > size_ - pos_` (never `pos_ + need > size_`, whose left side
+// can wrap on a crafted length), reads and writes go through memcpy
+// only (no reinterpret_cast type punning, no unaligned dereference),
+// and both directions static_assert trivial copyability so a
+// non-trivial type fails with a readable message instead of deep
+// template errors.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace faultyrank {
@@ -20,13 +29,19 @@ class SerdesError : public std::runtime_error {
 class ByteWriter {
  public:
   template <typename T>
-    requires std::is_trivially_copyable_v<T>
   void put(const T& value) {
-    const auto* raw = reinterpret_cast<const std::uint8_t*>(&value);
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ByteWriter::put requires a trivially copyable type");
+    std::uint8_t raw[sizeof(T)];
+    std::memcpy(raw, &value, sizeof(T));
     bytes_.insert(bytes_.end(), raw, raw + sizeof(T));
   }
 
   void put_string(const std::string& s) {
+    if (s.size() > UINT32_MAX) {
+      throw SerdesError("string too long to encode: " +
+                        std::to_string(s.size()) + " bytes");
+    }
     put(static_cast<std::uint32_t>(s.size()));
     bytes_.insert(bytes_.end(), s.begin(), s.end());
   }
@@ -41,7 +56,8 @@ class ByteWriter {
   std::vector<std::uint8_t> bytes_;
 };
 
-/// Sequential byte source over a borrowed buffer.
+/// Sequential byte source over a borrowed buffer. Invariant:
+/// pos_ <= size_, so `size_ - pos_` below never underflows.
 class ByteReader {
  public:
   ByteReader(const std::uint8_t* data, std::size_t size)
@@ -50,9 +66,10 @@ class ByteReader {
       : ByteReader(bytes.data(), bytes.size()) {}
 
   template <typename T>
-    requires std::is_trivially_copyable_v<T>
   [[nodiscard]] T get() {
-    if (pos_ + sizeof(T) > size_) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ByteReader::get requires a trivially copyable type");
+    if (sizeof(T) > size_ - pos_) {
       throw SerdesError("truncated buffer: need " + std::to_string(sizeof(T)) +
                         " bytes at offset " + std::to_string(pos_));
     }
@@ -64,7 +81,7 @@ class ByteReader {
 
   [[nodiscard]] std::string get_string() {
     const auto len = get<std::uint32_t>();
-    if (pos_ + len > size_) throw SerdesError("truncated string");
+    if (len > size_ - pos_) throw SerdesError("truncated string");
     std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
     pos_ += len;
     return s;

@@ -7,7 +7,7 @@
 namespace faultyrank {
 
 TaskGroup::~TaskGroup() {
-  std::unique_lock lock(pool_.mutex_);
+  MutexLock lock(pool_.mutex_);
   while (pending_ > 0) {
     // Drain like wait(), stealing our own queued tasks, but swallow the
     // exception slot: destructors must not throw.
@@ -27,7 +27,7 @@ TaskGroup::~TaskGroup() {
 
 void TaskGroup::submit(std::function<void()> task) {
   {
-    std::lock_guard lock(pool_.mutex_);
+    MutexLock lock(pool_.mutex_);
     if (pool_.stopping_) {
       throw std::runtime_error("thread pool: submit after shutdown");
     }
@@ -42,25 +42,43 @@ void TaskGroup::submit(std::function<void()> task) {
 }
 
 void TaskGroup::wait() {
-  std::unique_lock lock(pool_.mutex_);
-  while (pending_ > 0) {
-    auto it = std::find_if(pool_.queue_.begin(), pool_.queue_.end(),
-                           [this](const auto& t) { return t.group == this; });
-    if (it != pool_.queue_.end()) {
-      ThreadPool::Task task = std::move(*it);
-      pool_.queue_.erase(it);
-      lock.unlock();
-      pool_.run_task(std::move(task));
-      lock.lock();
-      continue;
+  {
+    MutexLock lock(pool_.mutex_);
+    while (pending_ > 0) {
+      auto it = std::find_if(pool_.queue_.begin(), pool_.queue_.end(),
+                             [this](const auto& t) { return t.group == this; });
+      if (it != pool_.queue_.end()) {
+        ThreadPool::Task task = std::move(*it);
+        pool_.queue_.erase(it);
+        lock.unlock();
+        pool_.run_task(std::move(task));
+        lock.lock();
+        continue;
+      }
+      done_.wait(lock);
     }
-    done_.wait(lock);
   }
-  if (exception_ != nullptr) {
-    std::exception_ptr first = std::exchange(exception_, nullptr);
-    lock.unlock();
-    std::rethrow_exception(first);
+  rethrow_pending();
+}
+
+void TaskGroup::finish_one(std::exception_ptr error) {
+  MutexLock lock(pool_.mutex_);
+  if (error != nullptr && exception_ == nullptr) {
+    exception_ = error;
   }
+  // Always settle the counters, even on failure — a throwing task
+  // must not wedge wait()/wait_idle().
+  if (--pending_ == 0) done_.notify_all();
+  if (--pool_.in_flight_ == 0) pool_.idle_.notify_all();
+}
+
+void TaskGroup::rethrow_pending() {
+  std::exception_ptr first;
+  {
+    MutexLock lock(pool_.mutex_);
+    first = std::exchange(exception_, nullptr);
+  }
+  if (first != nullptr) std::rethrow_exception(first);
 }
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -77,7 +95,7 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::shutdown() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) return;
     stopping_ = true;
   }
@@ -90,13 +108,14 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  idle_.wait(lock, [this] { return in_flight_ == 0; });
-  if (default_group_.exception_ != nullptr) {
-    std::exception_ptr first = std::exchange(default_group_.exception_, nullptr);
-    lock.unlock();
-    std::rethrow_exception(first);
+  {
+    MutexLock lock(mutex_);
+    while (in_flight_ > 0) idle_.wait(lock);
   }
+  // in_flight_ hit 0, so no task of any group is still running; callers
+  // of wait_idle() own the pool exclusively, so nothing re-submits
+  // between the barrier and this rethrow.
+  default_group_.rethrow_pending();
 }
 
 void ThreadPool::parallel_for(
@@ -122,25 +141,15 @@ void ThreadPool::run_task(Task task) {
   } catch (...) {
     error = std::current_exception();
   }
-  {
-    std::lock_guard lock(mutex_);
-    if (error != nullptr && task.group->exception_ == nullptr) {
-      task.group->exception_ = error;
-    }
-    // Always settle the counters, even on failure — a throwing task
-    // must not wedge wait()/wait_idle().
-    if (--task.group->pending_ == 0) task.group->done_.notify_all();
-    if (--in_flight_ == 0) idle_.notify_all();
-  }
+  task.group->finish_one(std::move(error));
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock lock(mutex_);
-      work_available_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_available_.wait(lock);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -14,16 +14,24 @@
 // belonging to its own group and runs them inline, so a worker that
 // starts a nested parallel_for makes progress even when every other
 // worker is busy — nesting cannot deadlock.
+//
+// All cross-thread state — the queue, the in-flight counter, every
+// group's pending counter and exception slot — is guarded by the one
+// pool mutex and annotated for the thread-safety analysis. Group
+// settling lives in TaskGroup::finish_one() rather than the pool so
+// the annotations resolve against the same capability expression
+// (`pool_.mutex_`) the guarded fields are declared with.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace faultyrank {
 
@@ -56,10 +64,18 @@ class TaskGroup {
  private:
   friend class ThreadPool;
 
+  /// Records the task outcome and settles this group's and the pool's
+  /// counters; called by workers and stealing waiters after running a
+  /// task of this group outside the lock.
+  void finish_one(std::exception_ptr error);
+
+  /// Rethrows (and clears) the captured first failure, if any.
+  void rethrow_pending();
+
   ThreadPool& pool_;
-  std::size_t pending_ = 0;           // guarded by pool_.mutex_
-  std::exception_ptr exception_;      // first failure, guarded by pool_.mutex_
-  std::condition_variable done_;      // pending_ reached 0 / new steal target
+  std::size_t pending_ FR_GUARDED_BY(pool_.mutex_) = 0;
+  std::exception_ptr exception_ FR_GUARDED_BY(pool_.mutex_);  // first failure
+  CondVar done_;  // pending_ reached 0 / new steal target
 };
 
 class ThreadPool {
@@ -110,17 +126,17 @@ class ThreadPool {
   };
 
   void worker_loop();
-  /// Runs one task outside the lock, then settles its group's and the
-  /// pool's counters. Shared by workers and stealing waiters.
+  /// Runs one task outside the lock, then settles it via
+  /// TaskGroup::finish_one.
   void run_task(Task task);
 
   std::vector<std::thread> workers_;
-  std::deque<Task> queue_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  std::size_t in_flight_ = 0;  // across all groups, for wait_idle()
-  bool stopping_ = false;
+  Mutex mutex_;
+  std::deque<Task> queue_ FR_GUARDED_BY(mutex_);
+  CondVar work_available_;
+  CondVar idle_;
+  std::size_t in_flight_ FR_GUARDED_BY(mutex_) = 0;  // for wait_idle()
+  bool stopping_ FR_GUARDED_BY(mutex_) = false;
   /// Group for ungrouped submit(); declared last so it is destroyed
   /// first, after ~ThreadPool's body has already joined the workers.
   TaskGroup default_group_{*this};

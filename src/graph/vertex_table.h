@@ -6,6 +6,15 @@
 // remembers, per vertex, whether the object was actually scanned on
 // some server or is only known as an edge target (a phantom — the
 // signature of a dangling reference).
+//
+// Thread discipline (DESIGN.md §8): deliberately unsynchronized. The
+// parallel aggregator never interns into a shared VertexTable —
+// each shard thread fills its own private hash shard
+// (unified_graph.cpp), and from_columns() assembles the merged result
+// on one thread. After assembly the table is read-only and may be
+// shared freely. A mutex here would serialize the intern hot path for
+// no correctness gain, so fr_lint's mutex-needs-guards rule has
+// nothing to see — exclusive ownership, not locking, is the protocol.
 #pragma once
 
 #include <cstdint>

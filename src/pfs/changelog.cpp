@@ -5,6 +5,7 @@
 namespace faultyrank {
 
 void ChangeLog::purge_below(std::uint64_t cursor) {
+  MutexLock lock(mutex_);
   std::erase_if(records_, [cursor](const ChangeRecord& record) {
     return record.index < cursor;
   });

@@ -13,7 +13,9 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/fid.h"
+#include "common/mutex.h"
 #include "pfs/ea.h"
 #include "pfs/inode.h"
 
@@ -52,9 +54,16 @@ struct ChangeRecord {
 };
 
 /// Append-only operation log with cursor-based consumption.
+///
+/// Thread-safe: the intended deployment has namespace operations
+/// appending from the mutation path while an online checker
+/// concurrently reads batches and acknowledges them, so every access
+/// to the record store takes the log mutex. Records are returned by
+/// value — a consumer never holds a reference into the guarded store.
 class ChangeLog {
  public:
   void append(ChangeRecord record) {
+    MutexLock lock(mutex_);
     record.index = next_index_++;
     records_.push_back(std::move(record));
   }
@@ -62,6 +71,7 @@ class ChangeLog {
   /// Every record with index >= cursor, in order.
   [[nodiscard]] std::vector<ChangeRecord> read_from(
       std::uint64_t cursor) const {
+    MutexLock lock(mutex_);
     std::vector<ChangeRecord> out;
     for (const auto& record : records_) {
       if (record.index >= cursor) out.push_back(record);
@@ -69,17 +79,22 @@ class ChangeLog {
     return out;
   }
 
-  [[nodiscard]] std::uint64_t next_index() const noexcept {
+  [[nodiscard]] std::uint64_t next_index() const {
+    MutexLock lock(mutex_);
     return next_index_;
   }
-  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] std::size_t size() const {
+    MutexLock lock(mutex_);
+    return records_.size();
+  }
 
   /// Drops records below `cursor` (a consumer acknowledged them).
   void purge_below(std::uint64_t cursor);
 
  private:
-  std::vector<ChangeRecord> records_;
-  std::uint64_t next_index_ = 0;
+  mutable Mutex mutex_;
+  std::vector<ChangeRecord> records_ FR_GUARDED_BY(mutex_);
+  std::uint64_t next_index_ FR_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace faultyrank

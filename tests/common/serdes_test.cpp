@@ -69,5 +69,61 @@ TEST(SerdesTest, TakeMovesBufferOut) {
   EXPECT_EQ(bytes.size(), 4u);
 }
 
+TEST(SerdesTest, MaxLengthStringClaimNearBufferEndThrows) {
+  // A crafted length of UINT32_MAX next to the end of the buffer: a
+  // `pos_ + len > size_` check could wrap on 32-bit size_t, so the
+  // reader must compare against the remaining span instead.
+  ByteWriter w;
+  w.put<std::uint32_t>(0xffffffffu);  // string claims 4 GiB - 1
+  w.put<std::uint8_t>(0x55);          // but only 1 byte follows
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.get_string(), SerdesError);
+}
+
+TEST(SerdesTest, ReadsExactlyToTheBoundary) {
+  ByteWriter w;
+  w.put<std::uint64_t>(7);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get<std::uint64_t>(), 7u);
+  // One past the end must throw, not read.
+  EXPECT_THROW((void)r.get<std::uint8_t>(), SerdesError);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(SerdesTest, FailedReadDoesNotAdvance) {
+  ByteWriter w;
+  w.put<std::uint16_t>(0xabcd);
+  ByteReader r(w.bytes());
+  EXPECT_THROW((void)r.get<std::uint64_t>(), SerdesError);
+  // The reader is still positioned at the start; the u16 read works.
+  EXPECT_EQ(r.get<std::uint16_t>(), 0xabcd);
+}
+
+TEST(SerdesTest, TrivialStructRoundTripsThroughMemcpy) {
+  struct Pod {
+    std::uint32_t a;
+    std::uint16_t b;
+  };
+  ByteWriter w;
+  w.put(Pod{0x01020304u, 0x0506});
+  ByteReader r(w.bytes());
+  const auto pod = r.get<Pod>();
+  EXPECT_EQ(pod.a, 0x01020304u);
+  EXPECT_EQ(pod.b, 0x0506);
+}
+
+TEST(SerdesTest, UnalignedReadsAreSafe) {
+  // A leading byte shifts every later field off its natural alignment;
+  // memcpy-based reads must not care (UBSan would flag a cast-deref).
+  ByteWriter w;
+  w.put<std::uint8_t>(1);
+  w.put<std::uint64_t>(0x1122334455667788ULL);
+  w.put<double>(2.5);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get<std::uint8_t>(), 1);
+  EXPECT_EQ(r.get<std::uint64_t>(), 0x1122334455667788ULL);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 2.5);
+}
+
 }  // namespace
 }  // namespace faultyrank

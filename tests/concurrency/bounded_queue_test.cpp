@@ -1,0 +1,121 @@
+// BoundedQueue edge cases: close-while-full (blocked producers give
+// up), close-while-empty (blocked consumers see end-of-stream), and a
+// capacity-1 ping-pong that forces a backpressure stall on every item.
+// Runs under TSan via the `tsan` preset (label `concurrency`).
+#include "common/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace faultyrank {
+namespace {
+
+TEST(BoundedQueueTest, ZeroCapacityClampsToOne) {
+  BoundedQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+}
+
+TEST(BoundedQueueTest, FifoWithinCapacity) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  EXPECT_TRUE(queue.push(3));
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_EQ(queue.pop(), 3);
+}
+
+TEST(BoundedQueueTest, CloseWhileEmptyUnblocksPop) {
+  BoundedQueue<int> queue(2);
+  std::atomic<bool> popped{false};
+  std::thread consumer([&] {
+    EXPECT_EQ(queue.pop(), std::nullopt);  // blocks until close()
+    popped.store(true);
+  });
+  // Give the consumer a moment to actually block on the empty queue.
+  while (!popped.load()) {
+    queue.close();
+    std::this_thread::yield();
+  }
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, CloseWhileFullUnblocksPush) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(1));  // queue now full
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_FALSE(queue.push(2));  // blocks on full, then fails on close
+    pushed.store(true);
+  });
+  while (!pushed.load()) {
+    queue.close();
+    std::this_thread::yield();
+  }
+  producer.join();
+  // The item enqueued before close still drains, then end-of-stream.
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, PushAfterCloseFailsImmediately) {
+  BoundedQueue<int> queue(4);
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.push(1));
+  EXPECT_EQ(queue.pop(), std::nullopt);
+  queue.close();  // idempotent
+}
+
+TEST(BoundedQueueTest, CapacityOnePingPong) {
+  // Every push must wait for the matching pop, so this exercises the
+  // full-queue stall and wakeup path once per item.
+  constexpr int kItems = 2000;
+  BoundedQueue<int> queue(1);
+  std::vector<int> received;
+  received.reserve(kItems);
+  std::thread consumer([&] {
+    while (auto item = queue.pop()) received.push_back(*item);
+  });
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_TRUE(queue.push(i));
+  }
+  queue.close();
+  consumer.join();
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(received[i], i);
+}
+
+TEST(BoundedQueueTest, ManyProducersOneConsumerDrainsEverything) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> queue(3);
+  std::atomic<long long> sum{0};
+  std::atomic<int> count{0};
+  std::thread consumer([&] {
+    while (auto item = queue.pop()) {
+      sum.fetch_add(*item);
+      count.fetch_add(1);
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.close();
+  consumer.join();
+  EXPECT_EQ(count.load(), kProducers * kPerProducer);
+  const long long n = kProducers * kPerProducer;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace faultyrank

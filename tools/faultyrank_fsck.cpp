@@ -22,6 +22,7 @@
 #include <string>
 
 #include "checker/checker.h"
+#include "common/memory_tracker.h"
 #include "core/report.h"
 #include "faults/injector.h"
 #include "lfsck/lfsck.h"
@@ -148,6 +149,7 @@ int cmd_inject(const Args& args) {
 
 int cmd_check(const Args& args) {
   LustreCluster cluster = load_cluster(args.positional[1]);
+  record_memory_phase("image loaded");
   ThreadPool pool;
   CheckerConfig config;
   config.pool = &pool;
@@ -155,6 +157,7 @@ int cmd_check(const Args& args) {
   config.verify_after_repair = args.repair;
   config.capture_undo = args.repair && !args.undo_path.empty();
   const CheckerResult result = run_checker(cluster, config);
+  record_memory_phase("check complete");
   if (!result.undo_image.empty()) {
     std::FILE* undo = std::fopen(args.undo_path.c_str(), "wb");
     if (undo == nullptr) {
@@ -192,6 +195,12 @@ int cmd_check(const Args& args) {
               result.timings.t_graph_sim + result.timings.t_graph_wall,
               result.timings.t_fr_wall);
   std::printf("findings: %zu\n", result.report.findings.size());
+  for (const MemoryPhase& phase : memory_phases()) {
+    char rss_buf[32], peak_buf[32];
+    std::printf("memory: %-16s rss=%s peak=%s\n", phase.name.c_str(),
+                format_bytes(phase.rss, rss_buf, sizeof(rss_buf)),
+                format_bytes(phase.peak, peak_buf, sizeof(peak_buf)));
+  }
   if (args.verbose) {
     std::fputs(render_text(result.report).c_str(), stdout);
   }

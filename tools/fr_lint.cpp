@@ -1,0 +1,416 @@
+// fr_lint — repo-specific lint pass over src/ and bench/ (ctest label
+// `static`). Four house rules, each aimed at keeping the concurrency
+// tooling honest:
+//
+//   mutex-needs-guards   Every mutex declaration (std::mutex,
+//                        std::shared_mutex, or the annotated wrappers
+//                        Mutex/SharedMutex) must have at least one
+//                        FR_GUARDED_BY / FR_PT_GUARDED_BY / FR_REQUIRES
+//                        / FR_ACQUIRE annotation naming it in the same
+//                        file — a bare mutex is invisible to the
+//                        thread-safety analysis.
+//   no-raw-thread        No std::thread / std::jthread / std::async /
+//                        pthread_create outside common/thread_pool.*:
+//                        all parallelism goes through the pool so task
+//                        groups, stealing and shutdown stay the only
+//                        concurrency protocol.
+//   no-c-random          No rand()/srand()/rand_r(): all experiment
+//                        randomness must flow through common/random.h
+//                        so runs are reproducible from a single seed.
+//   no-iostream-in-lib   No #include <iostream> in library code
+//                        (src/): iostream drags in static init order
+//                        concerns and unsynchronized stream state;
+//                        library code logs through common/logging.h.
+//
+// A line can opt out with a trailing `// fr_lint: allow(rule-id)`.
+// Comments and string/char literals are stripped before matching, so
+// documentation does not trip the rules.
+//
+// Usage:
+//   fr_lint <dir-or-file>...        lint; exit 1 on any violation
+//   fr_lint --self-test <fixtures>  run against fixture files whose
+//                                   `// EXPECT:` headers state which
+//                                   rules must fire; exit 1 on mismatch
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct FileContent {
+  std::vector<std::string> raw;       // original lines
+  std::vector<std::string> scrubbed;  // comments/literals blanked
+};
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Blanks comments and string/char literal contents with spaces,
+/// keeping line lengths and offsets stable. Tracks /* */ across lines.
+std::vector<std::string> scrub(const std::vector<std::string>& raw) {
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  bool in_block = false;
+  for (const std::string& line : raw) {
+    std::string s = line;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (in_block) {
+        if (s[i] == '*' && i + 1 < s.size() && s[i + 1] == '/') {
+          s[i] = s[i + 1] = ' ';
+          ++i;
+          in_block = false;
+        } else {
+          s[i] = ' ';
+        }
+        continue;
+      }
+      if (s[i] == '/' && i + 1 < s.size() && s[i + 1] == '/') {
+        for (std::size_t j = i; j < s.size(); ++j) s[j] = ' ';
+        break;
+      }
+      if (s[i] == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+        s[i] = s[i + 1] = ' ';
+        ++i;
+        in_block = true;
+        continue;
+      }
+      if (s[i] == '"' || s[i] == '\'') {
+        const char quote = s[i];
+        // Keep the quotes, blank the contents (escape-aware).
+        for (++i; i < s.size(); ++i) {
+          if (s[i] == '\\' && i + 1 < s.size()) {
+            s[i] = s[i + 1] = ' ';
+            ++i;
+            continue;
+          }
+          if (s[i] == quote) break;
+          s[i] = ' ';
+        }
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+bool line_allows(const std::string& raw_line, const std::string& rule) {
+  const std::string marker = "fr_lint: allow(" + rule + ")";
+  return raw_line.find(marker) != std::string::npos;
+}
+
+/// Matches a mutex declaration on a scrubbed line and returns the
+/// declared name, or "" when the line declares none. Accepts
+/// `[mutable|static] <mutex-type> name;` with nothing else of note —
+/// parameter lists and constructor calls (which contain '(') don't
+/// count as declarations.
+std::string mutex_decl_name(const std::string& line) {
+  static const std::vector<std::string> kMutexTypes = {
+      "std::mutex", "std::shared_mutex", "faultyrank::Mutex",
+      "faultyrank::SharedMutex", "Mutex", "SharedMutex"};
+  for (const auto& type : kMutexTypes) {
+    std::size_t pos = line.find(type);
+    while (pos != std::string::npos) {
+      const bool left_ok = pos == 0 || (!is_ident_char(line[pos - 1]) &&
+                                        line[pos - 1] != ':');
+      const std::size_t end = pos + type.size();
+      if (left_ok && end < line.size() && !is_ident_char(line[end]) &&
+          line[end] != ':') {
+        std::size_t i = end;
+        while (i < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[i]))) {
+          ++i;
+        }
+        std::string name;
+        while (i < line.size() && is_ident_char(line[i])) {
+          name += line[i++];
+        }
+        while (i < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[i]))) {
+          ++i;
+        }
+        if (!name.empty() && i < line.size() && line[i] == ';') return name;
+      }
+      pos = line.find(type, pos + 1);
+    }
+  }
+  return "";
+}
+
+/// True when the file contains an FR_* annotation whose argument names
+/// `mutex_name` (possibly qualified, e.g. FR_GUARDED_BY(pool_.mutex_)).
+bool has_annotation_for(const FileContent& content,
+                        const std::string& mutex_name) {
+  static const std::vector<std::string> kAnnotations = {
+      "FR_GUARDED_BY(", "FR_PT_GUARDED_BY(", "FR_REQUIRES(",
+      "FR_REQUIRES_SHARED(", "FR_ACQUIRE(", "FR_RELEASE(", "FR_EXCLUDES("};
+  for (const std::string& line : content.scrubbed) {
+    for (const auto& ann : kAnnotations) {
+      std::size_t pos = line.find(ann);
+      while (pos != std::string::npos) {
+        const std::size_t open = pos + ann.size();
+        const std::size_t close = line.find(')', open);
+        if (close != std::string::npos) {
+          const std::string arg = line.substr(open, close - open);
+          // The trailing identifier of the argument must be the mutex.
+          std::size_t tail = arg.size();
+          while (tail > 0 && is_ident_char(arg[tail - 1])) --tail;
+          if (arg.substr(tail) == mutex_name) return true;
+        }
+        pos = line.find(ann, pos + 1);
+      }
+    }
+  }
+  return false;
+}
+
+bool path_ends_with(const std::string& path, const std::string& suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool path_contains_dir(const std::string& path, const std::string& dir) {
+  return path.find("/" + dir + "/") != std::string::npos ||
+         path.rfind(dir + "/", 0) == 0;
+}
+
+/// `is_library` — treat the file as library code (src/) for the
+/// iostream rule; self-test forces it on.
+std::vector<Violation> lint_file(const std::string& path,
+                                 const FileContent& content, bool is_library) {
+  std::vector<Violation> out;
+
+  const bool mutex_wrapper_file = path_ends_with(path, "common/mutex.h");
+  const bool pool_file = path_ends_with(path, "common/thread_pool.h") ||
+                         path_ends_with(path, "common/thread_pool.cpp");
+
+  for (std::size_t n = 0; n < content.scrubbed.size(); ++n) {
+    const std::string& line = content.scrubbed[n];
+    const std::string& raw = content.raw[n];
+
+    // mutex-needs-guards — skipped in the wrapper layer itself, which
+    // owns the raw std primitives the capabilities wrap.
+    if (!mutex_wrapper_file) {
+      const std::string name = mutex_decl_name(line);
+      if (!name.empty() && !line_allows(raw, "mutex-needs-guards") &&
+          !has_annotation_for(content, name)) {
+        out.push_back({path, n + 1, "mutex-needs-guards",
+                       "mutex '" + name +
+                           "' guards no FR_GUARDED_BY-annotated field in "
+                           "this file"});
+      }
+    }
+
+    // no-raw-thread — the pool is the only place threads are born.
+    if (!pool_file && !line_allows(raw, "no-raw-thread")) {
+      static const std::vector<std::string> kThreadTokens = {
+          "std::jthread", "std::async", "pthread_create"};
+      for (const auto& token : kThreadTokens) {
+        if (line.find(token) != std::string::npos) {
+          out.push_back({path, n + 1, "no-raw-thread",
+                         "'" + token + "' outside common/thread_pool — use "
+                         "ThreadPool/TaskGroup"});
+        }
+      }
+      std::size_t pos = line.find("std::thread");
+      while (pos != std::string::npos) {
+        const std::size_t end = pos + std::string("std::thread").size();
+        // std::thread::hardware_concurrency() is a capability query,
+        // not a thread spawn; scope-qualified uses stay legal.
+        const bool scope_use = end + 1 < line.size() && line[end] == ':' &&
+                               line[end + 1] == ':';
+        const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+        if (right_ok && !scope_use) {
+          out.push_back({path, n + 1, "no-raw-thread",
+                         "'std::thread' outside common/thread_pool — use "
+                         "ThreadPool/TaskGroup"});
+        }
+        pos = line.find("std::thread", pos + 1);
+      }
+    }
+
+    // no-c-random — reproducibility: common/random.h only.
+    if (!line_allows(raw, "no-c-random")) {
+      for (const std::string func : {"rand", "srand", "rand_r"}) {
+        std::size_t pos = line.find(func);
+        while (pos != std::string::npos) {
+          std::size_t after = pos + func.size();
+          std::size_t ws = after;
+          while (ws < line.size() &&
+                 std::isspace(static_cast<unsigned char>(line[ws]))) {
+            ++ws;
+          }
+          const bool called = ws < line.size() && line[ws] == '(';
+          const bool right_ok = after >= line.size() ||
+                                !is_ident_char(line[after]);
+          bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+          if (!left_ok && pos >= 5 && line.compare(pos - 5, 5, "std::") == 0) {
+            left_ok = true;  // std::rand is just as banned
+          }
+          if (called && right_ok && left_ok) {
+            out.push_back({path, n + 1, "no-c-random",
+                           "'" + func + "()' is banned — use the seeded "
+                           "generators in common/random.h"});
+          }
+          pos = line.find(func, pos + 1);
+        }
+      }
+    }
+
+    // no-iostream-in-lib
+    if (is_library && !line_allows(raw, "no-iostream-in-lib")) {
+      std::string squeezed;
+      for (char c : line) {
+        if (!std::isspace(static_cast<unsigned char>(c))) squeezed += c;
+      }
+      if (squeezed.find("#include<iostream>") != std::string::npos) {
+        out.push_back({path, n + 1, "no-iostream-in-lib",
+                       "<iostream> in library code — log through "
+                       "common/logging.h"});
+      }
+    }
+  }
+  return out;
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+FileContent read_file(const fs::path& path) {
+  FileContent content;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) content.raw.push_back(line);
+  content.scrubbed = scrub(content.raw);
+  return content;
+}
+
+std::vector<fs::path> collect(const std::vector<std::string>& roots) {
+  std::vector<fs::path> files;
+  for (const auto& root : roots) {
+    if (fs::is_directory(root)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file() && lintable(entry.path()) &&
+            entry.path().string().find("fr_lint_fixtures") ==
+                std::string::npos) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(root)) {
+      files.push_back(root);
+    } else {
+      std::fprintf(stderr, "fr_lint: no such path: %s\n", root.c_str());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+int run_lint(const std::vector<std::string>& roots) {
+  std::vector<Violation> violations;
+  std::size_t file_count = 0;
+  for (const fs::path& path : collect(roots)) {
+    ++file_count;
+    const std::string p = path.generic_string();
+    const bool is_library = path_contains_dir(p, "src");
+    const auto found = lint_file(p, read_file(path), is_library);
+    violations.insert(violations.end(), found.begin(), found.end());
+  }
+  for (const auto& v : violations) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
+                 v.rule.c_str(), v.message.c_str());
+  }
+  std::fprintf(stderr, "fr_lint: %zu file(s), %zu violation(s)\n", file_count,
+               violations.size());
+  return violations.empty() ? 0 : 1;
+}
+
+/// Fixture mode: every fixture states the rules it must trigger via
+/// `// EXPECT: rule-id` header lines (`// EXPECT: clean` for none);
+/// fixtures are linted as library code so every rule is live.
+int run_self_test(const std::string& fixtures_dir) {
+  int failures = 0;
+  std::size_t checked = 0;
+  for (const fs::path& path : [&] {
+         std::vector<fs::path> files;
+         for (const auto& entry : fs::directory_iterator(fixtures_dir)) {
+           if (entry.is_regular_file() && lintable(entry.path())) {
+             files.push_back(entry.path());
+           }
+         }
+         std::sort(files.begin(), files.end());
+         return files;
+       }()) {
+    ++checked;
+    const FileContent content = read_file(path);
+    std::set<std::string> expected;
+    for (const std::string& raw : content.raw) {
+      const std::string tag = "// EXPECT: ";
+      const std::size_t pos = raw.find(tag);
+      if (pos != std::string::npos) {
+        const std::string rule = raw.substr(pos + tag.size());
+        if (rule != "clean") expected.insert(rule);
+      }
+    }
+    std::set<std::string> actual;
+    for (const auto& v :
+         lint_file(path.generic_string(), content, /*is_library=*/true)) {
+      actual.insert(v.rule);
+    }
+    if (expected != actual) {
+      ++failures;
+      std::string want, got;
+      for (const auto& r : expected) want += r + " ";
+      for (const auto& r : actual) got += r + " ";
+      std::fprintf(stderr,
+                   "fr_lint self-test FAIL %s\n  expected: %s\n  got:      "
+                   "%s\n",
+                   path.generic_string().c_str(),
+                   want.empty() ? "(clean)" : want.c_str(),
+                   got.empty() ? "(clean)" : got.c_str());
+    }
+  }
+  std::fprintf(stderr, "fr_lint self-test: %zu fixture(s), %d failure(s)\n",
+               checked, failures);
+  if (checked == 0) {
+    std::fprintf(stderr, "fr_lint self-test: no fixtures found\n");
+    return 1;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    std::fprintf(stderr,
+                 "usage: fr_lint <dir-or-file>...\n"
+                 "       fr_lint --self-test <fixtures-dir>\n");
+    return 2;
+  }
+  if (args[0] == "--self-test") {
+    if (args.size() != 2) {
+      std::fprintf(stderr, "fr_lint: --self-test takes one fixtures dir\n");
+      return 2;
+    }
+    return run_self_test(args[1]);
+  }
+  return run_lint(args);
+}

@@ -1,0 +1,9 @@
+// EXPECT: no-c-random
+// rand() breaks run-to-run reproducibility; everything randomized must
+// flow through the seeded generators in common/random.h.
+#include <cstdlib>
+
+int roll_dice() {
+  std::srand(42);
+  return std::rand() % 6;
+}

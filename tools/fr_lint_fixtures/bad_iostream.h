@@ -1,0 +1,8 @@
+// EXPECT: no-iostream-in-lib
+// Library code logs through common/logging.h; <iostream> drags in
+// static-init ordering and unsynchronized stream state.
+#pragma once
+
+#include <iostream>
+
+inline void report(int n) { std::cout << n << "\n"; }

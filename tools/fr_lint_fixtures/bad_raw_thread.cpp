@@ -1,0 +1,9 @@
+// EXPECT: no-raw-thread
+// Spawning a thread outside common/thread_pool bypasses task groups,
+// work stealing, and orderly shutdown.
+#include <thread>
+
+void fire_and_forget() {
+  std::thread worker([] {});
+  worker.detach();
+}

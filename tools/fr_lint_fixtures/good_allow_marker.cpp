@@ -1,0 +1,9 @@
+// EXPECT: clean
+// The explicit per-line escape hatch: a trailing
+// `fr_lint: allow(rule-id)` comment suppresses exactly that rule.
+#include <thread>
+
+void legacy_interop() {
+  std::thread t([] {});  // fr_lint: allow(no-raw-thread)
+  t.join();
+}

@@ -1,0 +1,14 @@
+// EXPECT: clean
+// Banned tokens inside comments and string literals must not trip the
+// rules: std::thread, rand(), srand(), #include <iostream>.
+const char* kDoc =
+    "docs may say std::thread and rand() and #include <iostream> freely";
+
+/* block comments too: std::jthread, srand(7), pthread_create(...) */
+
+// hardware_concurrency is a query, not a spawn:
+#include <thread>
+inline unsigned cores() { return std::thread::hardware_concurrency(); }
+
+// identifiers merely containing the banned names are fine:
+inline int operand(int strand) { return strand; }
