@@ -1,11 +1,30 @@
 // google-benchmark micro-kernels for the building blocks: CSR
 // construction, one rank iteration, pairing analysis, FID interning,
 // scanning, and partial-graph serialization.
+//
+// Beyond the google-benchmark registrations, the binary has a
+// machine-readable mode comparing the PropagationPlan kernel against
+// the naive reference (DESIGN.md §9) and emitting BENCH_kernels.json:
+//
+//   micro_kernels --kernels_json=BENCH_kernels.json
+//       [--kernels_scale=20] [--kernels_degree=32] [--kernels_threads=8]
+//       [--kernels_iters=5] [--kernels_only]
+//
+// The graph defaults to the Table V high-degree point (RMAT-20, avg
+// degree 32). Exits nonzero if the two kernels disagree bitwise, so
+// scripts/check.sh can gate on the smoke run.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "aggregator/aggregator.h"
 #include "checker/checker.h"
+#include "common/timer.h"
 #include "core/faultyrank.h"
+#include "core/propagation_plan.h"
 #include "graph/unified_graph.h"
 #include "scanner/scanner.h"
 #include "workload/namespace_gen.h"
@@ -50,6 +69,50 @@ void BM_RankIteration(benchmark::State& state) {
                           static_cast<std::int64_t>(g.edges.size()) * 2);
 }
 BENCHMARK(BM_RankIteration)->Arg(14)->Arg(16)->Arg(18);
+
+void BM_RankIterationReference(benchmark::State& state) {
+  const auto scale = static_cast<std::uint32_t>(state.range(0));
+  const GeneratedGraph g = generate_rmat({.scale = scale, .avg_degree = 8});
+  const UnifiedGraph graph = UnifiedGraph::from_edges(g.vertex_count, g.edges);
+  FaultyRankConfig config;
+  config.max_iterations = 1;
+  config.epsilon = 1e-30;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_faultyrank_reference(graph, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.edges.size()) * 2);
+}
+BENCHMARK(BM_RankIterationReference)->Arg(14)->Arg(16)->Arg(18);
+
+void BM_RankIterationPlanned(benchmark::State& state) {
+  const auto scale = static_cast<std::uint32_t>(state.range(0));
+  const GeneratedGraph g = generate_rmat({.scale = scale, .avg_degree = 8});
+  const UnifiedGraph graph = UnifiedGraph::from_edges(g.vertex_count, g.edges);
+  FaultyRankConfig config;
+  config.max_iterations = 1;
+  config.epsilon = 1e-30;
+  const PropagationPlan plan =
+      PropagationPlan::build(graph, config.unpaired_weight);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_faultyrank(graph, plan, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.edges.size()) * 2);
+}
+BENCHMARK(BM_RankIterationPlanned)->Arg(14)->Arg(16)->Arg(18);
+
+void BM_PropagationPlanBuild(benchmark::State& state) {
+  const auto scale = static_cast<std::uint32_t>(state.range(0));
+  const GeneratedGraph g = generate_rmat({.scale = scale, .avg_degree = 8});
+  const UnifiedGraph graph = UnifiedGraph::from_edges(g.vertex_count, g.edges);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PropagationPlan::build(graph, 0.1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.edges.size()));
+}
+BENCHMARK(BM_PropagationPlanBuild)->Arg(14)->Arg(16)->Arg(18);
 
 void BM_RankToConvergence(benchmark::State& state) {
   const auto scale = static_cast<std::uint32_t>(state.range(0));
@@ -104,7 +167,153 @@ void BM_EndToEndCheck(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndCheck)->Arg(1000)->Arg(5000);
 
+// ---------------------------------------------------------------------
+// --kernels_json mode: plan-vs-naive comparison on one graph.
+// ---------------------------------------------------------------------
+
+struct KernelCompareOptions {
+  std::string json_path;
+  std::uint32_t scale = 20;   // Table V stand-in
+  std::uint32_t degree = 32;  // Table V's high-degree sweep point
+  std::size_t threads = 8;
+  std::size_t iters = 5;  // timed iterations per kernel
+  bool only = false;      // skip the google-benchmark suite afterwards
+};
+
+/// Times `iters` iterations of the reference and plan kernels on the
+/// same graph + pool, verifies the results match bitwise, and writes
+/// one JSON object. Returns false on a bitwise mismatch.
+bool run_kernel_comparison(KernelCompareOptions options) {
+  if (options.iters == 0) options.iters = 1;
+  const GeneratedGraph g =
+      generate_rmat({.scale = options.scale, .avg_degree = options.degree});
+  const UnifiedGraph graph =
+      UnifiedGraph::from_edges(g.vertex_count, g.edges);
+
+  ThreadPool pool(options.threads == 0 ? 1 : options.threads);
+  ThreadPool* pool_ptr = options.threads == 0 ? nullptr : &pool;
+
+  FaultyRankConfig config;
+  config.max_iterations = options.iters;
+  config.epsilon = 1e-300;  // never converges: every run does `iters`
+
+  // Untimed warmup touches every page of both CSRs and the rank arrays.
+  FaultyRankConfig warmup = config;
+  warmup.max_iterations = 1;
+  (void)run_faultyrank_reference(graph, warmup, pool_ptr);
+
+  WallTimer naive_timer;
+  const FaultyRankResult naive =
+      run_faultyrank_reference(graph, config, pool_ptr);
+  const double naive_seconds = naive_timer.seconds();
+
+  WallTimer build_timer;
+  const PropagationPlan plan =
+      PropagationPlan::build(graph, config.unpaired_weight, pool_ptr);
+  const double build_seconds = build_timer.seconds();
+
+  WallTimer plan_timer;
+  const FaultyRankResult planned =
+      run_faultyrank(graph, plan, config, pool_ptr);
+  const double plan_seconds = plan_timer.seconds();
+
+  const bool bit_identical = naive.id_rank == planned.id_rank &&
+                             naive.prop_rank == planned.prop_rank &&
+                             naive.iterations == planned.iterations;
+
+  const double per_iter = static_cast<double>(options.iters);
+  const double naive_per_iter = naive_seconds / per_iter;
+  const double plan_per_iter = plan_seconds / per_iter;
+  const double speedup =
+      plan_per_iter > 0.0 ? naive_per_iter / plan_per_iter : 0.0;
+
+  std::FILE* out = std::fopen(options.json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "micro_kernels: cannot write %s\n",
+                 options.json_path.c_str());
+    return false;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"plan_vs_naive_rank_kernel\",\n"
+               "  \"graph\": {\"kind\": \"rmat\", \"scale\": %u, "
+               "\"avg_degree\": %u, \"vertices\": %zu, \"edges\": %llu},\n"
+               "  \"threads\": %zu,\n"
+               "  \"iterations\": %zu,\n"
+               "  \"naive_seconds_per_iteration\": %.6e,\n"
+               "  \"plan_seconds_per_iteration\": %.6e,\n"
+               "  \"plan_build_seconds\": %.6e,\n"
+               "  \"plan_bytes\": %llu,\n"
+               "  \"speedup\": %.3f,\n"
+               "  \"bit_identical\": %s\n"
+               "}\n",
+               options.scale, options.degree, graph.vertex_count(),
+               static_cast<unsigned long long>(graph.edge_count()),
+               options.threads, options.iters, naive_per_iter, plan_per_iter,
+               build_seconds, static_cast<unsigned long long>(plan.bytes()),
+               speedup, bit_identical ? "true" : "false");
+  std::fclose(out);
+
+  std::printf(
+      "kernels: rmat scale=%u deg=%u threads=%zu — naive %.4f s/iter, "
+      "plan %.4f s/iter (%.2fx), plan build %.3f s, bit_identical=%s\n",
+      options.scale, options.degree, options.threads, naive_per_iter,
+      plan_per_iter, speedup, build_seconds,
+      bit_identical ? "true" : "false");
+  if (!bit_identical) {
+    std::fprintf(stderr,
+                 "micro_kernels: plan kernel diverged from reference!\n");
+  }
+  return bit_identical;
+}
+
+/// Parses one `--kernels_<name>=<value>` flag; false if `arg` is not a
+/// kernels flag (and should go to google-benchmark instead).
+bool parse_kernels_flag(const char* arg, KernelCompareOptions& options) {
+  const auto value_of = [](const char* s) {
+    const char* eq = std::strchr(s, '=');
+    return std::string(eq == nullptr ? "" : eq + 1);
+  };
+  if (std::strncmp(arg, "--kernels_json", 14) == 0) {
+    options.json_path = value_of(arg);
+  } else if (std::strncmp(arg, "--kernels_scale", 15) == 0) {
+    options.scale = static_cast<std::uint32_t>(std::stoul(value_of(arg)));
+  } else if (std::strncmp(arg, "--kernels_degree", 16) == 0) {
+    options.degree = static_cast<std::uint32_t>(std::stoul(value_of(arg)));
+  } else if (std::strncmp(arg, "--kernels_threads", 17) == 0) {
+    options.threads = std::stoul(value_of(arg));
+  } else if (std::strncmp(arg, "--kernels_iters", 15) == 0) {
+    options.iters = std::stoul(value_of(arg));
+  } else if (std::strcmp(arg, "--kernels_only") == 0) {
+    options.only = true;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 }  // namespace faultyrank
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  faultyrank::KernelCompareOptions options;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (!faultyrank::parse_kernels_flag(argv[i], options)) {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!options.json_path.empty()) {
+    if (!faultyrank::run_kernel_comparison(options)) return 1;
+    if (options.only) return 0;
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

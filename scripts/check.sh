@@ -37,5 +37,13 @@ run ctest --preset ubsan -j "${JOBS}"
 #    default suite already gates on it.
 run ./build/tools/fr_lint src bench
 
+# 5. Kernel-comparison smoke: the PropagationPlan kernel must agree
+#    bitwise with the naive reference (exit 1 otherwise). Small graph —
+#    this is a correctness gate; the committed BENCH_kernels.json comes
+#    from the full-size Table V run (see README).
+run ./build/bench/micro_kernels --kernels_only \
+  --kernels_json=build/BENCH_kernels.json \
+  --kernels_scale=14 --kernels_degree=8 --kernels_threads=4
+
 echo
 echo "check.sh: all gates green"

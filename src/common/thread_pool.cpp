@@ -134,6 +134,53 @@ void ThreadPool::parallel_for(
   group.wait();
 }
 
+void ThreadPool::parallel_for_ranges(
+    std::span<const std::size_t> boundaries,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (boundaries.size() < 2) return;
+  TaskGroup group(*this);
+  for (std::size_t c = 0; c + 1 < boundaries.size(); ++c) {
+    const std::size_t begin = boundaries[c];
+    const std::size_t end = boundaries[c + 1];
+    if (begin >= end) continue;
+    group.submit([&body, begin, end, c] { body(begin, end, c); });
+  }
+  group.wait();
+}
+
+std::vector<std::size_t> partition_by_weight(
+    std::span<const std::uint64_t> prefix, std::size_t chunks,
+    std::size_t align) {
+  if (prefix.size() <= 1) return {0};
+  const std::size_t n = prefix.size() - 1;
+  const std::uint64_t total = prefix[n] - prefix[0];
+  if (chunks <= 1 || total == 0) return {0, n};
+  if (align == 0) align = 1;
+
+  std::vector<std::size_t> bounds;
+  bounds.reserve(chunks + 1);
+  bounds.push_back(0);
+  for (std::size_t c = 1; c < chunks; ++c) {
+    // total·c stays well inside 64 bits: edge counts are < 2^40 and
+    // chunk counts are core counts.
+    const std::uint64_t target = prefix[0] + total * c / chunks;
+    auto v = static_cast<std::size_t>(
+        std::lower_bound(prefix.begin(), prefix.end(), target) -
+        prefix.begin());
+    if (align > 1) {
+      // Snap to the nearer aligned neighbour (ties go down; never
+      // overshoot n).
+      const std::size_t down = v / align * align;
+      const std::size_t up = down + align;
+      v = (up <= n && up - v < v - down) ? up : down;
+    }
+    v = std::min(v, n);
+    if (v > bounds.back() && v < n) bounds.push_back(v);
+  }
+  bounds.push_back(n);
+  return bounds;
+}
+
 void ThreadPool::run_task(Task task) {
   std::exception_ptr error;
   try {

@@ -24,9 +24,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -113,6 +115,17 @@ class ThreadPool {
                     const std::function<void(std::size_t, std::size_t,
                                              std::size_t)>& body);
 
+  /// Runs body(begin, end, range_index) for each consecutive boundary
+  /// pair of `boundaries` (as produced by partition_by_weight); blocks
+  /// until all ranges complete and rethrows the first exception a range
+  /// threw. Empty ranges are skipped but keep their index, so
+  /// range_index always names the same [begin, end) for a given
+  /// boundary list regardless of pool size. Runs in its own TaskGroup
+  /// (nesting-safe, like parallel_for).
+  void parallel_for_ranges(std::span<const std::size_t> boundaries,
+                           const std::function<void(std::size_t, std::size_t,
+                                                    std::size_t)>& body);
+
   /// Joins all workers after draining the queue. Subsequent submits
   /// throw. Idempotent; the destructor calls it.
   void shutdown();
@@ -141,5 +154,23 @@ class ThreadPool {
   /// first, after ~ThreadPool's body has already joined the workers.
   TaskGroup default_group_{*this};
 };
+
+/// Splits [0, n) (n = prefix.size() - 1) into at most `chunks`
+/// contiguous ranges of ~equal *weight*, where the weight of [a, b) is
+/// prefix[b] - prefix[a]. A CSR offset array is exactly such a prefix
+/// sum, so this yields edge-balanced vertex ranges: a single
+/// million-entry directory no longer lands in one straggler chunk of a
+/// vertex-count split. Boundaries are found by binary search and, with
+/// align > 1, snapped to the nearest multiple of `align` (callers that
+/// fuse block-grouped reductions into the ranges need chunk boundaries
+/// that never split a reduction block).
+///
+/// Returns strictly increasing boundaries starting at 0 and ending at
+/// n; a vertex whose weight exceeds the per-chunk quota consumes
+/// several quotas, so fewer than `chunks` ranges may come back. For an
+/// empty prefix the result is {0}.
+[[nodiscard]] std::vector<std::size_t> partition_by_weight(
+    std::span<const std::uint64_t> prefix, std::size_t chunks,
+    std::size_t align = 1);
 
 }  // namespace faultyrank

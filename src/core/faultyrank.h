@@ -25,7 +25,23 @@
 // loops: pass 1 gathers over in-neighbours via the reversed CSR, pass 2
 // gathers over out-neighbours via the forward CSR. Pull form is
 // mathematically identical, race-free under vertex-partitioned
-// parallelism, and deterministic for a fixed thread count.
+// parallelism, and deterministic.
+//
+// Two kernels share that pull formulation (DESIGN.md §9):
+//   run_faultyrank           — the production kernel: precomputed
+//                              PropagationPlan coefficients (branch- and
+//                              division-free FMA gathers), sink-share and
+//                              diff reductions fused into the gather
+//                              sweeps (two full sweeps per iteration, not
+//                              five), edge-balanced chunk scheduling.
+//   run_faultyrank_reference — the naive unfused kernel, kept as the
+//                              golden oracle and benchmark baseline; it
+//                              pays the per-edge division, branch, and
+//                              paired() load every iteration.
+// Every reduction in both kernels is grouped into fixed
+// kRankReductionBlock-vertex blocks combined in block order, so the two
+// kernels produce bit-identical results at ANY pool size — stronger
+// than the seed's fixed-thread-count guarantee.
 #pragma once
 
 #include <cstddef>
@@ -35,6 +51,22 @@
 #include "graph/unified_graph.h"
 
 namespace faultyrank {
+
+class PropagationPlan;
+
+/// Default vertex count below which the kernel ignores the pool and
+/// runs on the calling thread — forking chunks costs more than the
+/// work. FaultyRankConfig::serial_grain overrides it (the ablation
+/// benches sweep it); 0 means "always use the pool".
+inline constexpr std::size_t kDefaultSerialGrain = 2048;
+
+/// Fixed reduction-block width (vertices). Every sum reduction in both
+/// kernels is computed as per-block partial sums combined in ascending
+/// block order; the grouping depends only on the vertex count, never on
+/// the pool, which is what makes results bit-identical across pool
+/// sizes. Gather chunk boundaries are aligned to this so a fused
+/// reduction block never splits across chunks.
+inline constexpr std::size_t kRankReductionBlock = 1024;
 
 /// How the per-iteration change of id_rank is measured for convergence.
 enum class DiffNorm {
@@ -65,6 +97,9 @@ struct FaultyRankConfig {
   /// from the previous fixpoint than from the uniform initialization.
   const std::vector<double>* initial_id_ranks = nullptr;
   const std::vector<double>* initial_prop_ranks = nullptr;
+  /// Serial-fallback grain: with fewer vertices than this the kernel
+  /// skips the pool entirely (see kDefaultSerialGrain).
+  std::size_t serial_grain = kDefaultSerialGrain;
   /// Paper §VIII future work: additionally decompose each vertex's
   /// property credibility per property kind (DIRENT / LinkEA / LOVEA /
   /// ObjLinkEA), so one corrupted extended attribute can be told apart
@@ -103,11 +138,31 @@ struct FaultyRankResult {
   }
 };
 
-/// Runs FaultyRank on the unified graph. If `pool` is non-null, vertex
-/// ranges are processed on it; otherwise the kernel runs on the calling
-/// thread.
+/// Runs FaultyRank on the unified graph with an internally-built
+/// PropagationPlan. If `pool` is non-null, edge-balanced vertex ranges
+/// are processed on it; otherwise the kernel runs on the calling
+/// thread. Callers that iterate repeatedly over an unchanged graph
+/// (online re-checks, benchmarks) should build the plan once and use
+/// the overload below.
 [[nodiscard]] FaultyRankResult run_faultyrank(const UnifiedGraph& graph,
                                               const FaultyRankConfig& config = {},
                                               ThreadPool* pool = nullptr);
+
+/// Same kernel, reusing a prebuilt plan. Throws std::invalid_argument
+/// if the plan was not built from exactly this graph with
+/// config.unpaired_weight.
+[[nodiscard]] FaultyRankResult run_faultyrank(const UnifiedGraph& graph,
+                                              const PropagationPlan& plan,
+                                              const FaultyRankConfig& config = {},
+                                              ThreadPool* pool = nullptr);
+
+/// The naive pre-plan kernel: five vertex-count-partitioned sweeps per
+/// iteration, per-edge division/branch/paired() load. Kept as the
+/// golden oracle (bit-identical to the plan kernel at any pool size —
+/// the cross-kernel test enforces it) and as the benchmark baseline
+/// that BENCH_kernels.json tracks the plan's speedup against.
+[[nodiscard]] FaultyRankResult run_faultyrank_reference(
+    const UnifiedGraph& graph, const FaultyRankConfig& config = {},
+    ThreadPool* pool = nullptr);
 
 }  // namespace faultyrank

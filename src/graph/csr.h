@@ -56,6 +56,14 @@ class Csr {
     return offsets_[v + 1];
   }
 
+  /// The raw offset (degree prefix-sum) array: offsets()[v] ==
+  /// edges_begin(v), offsets()[vertex_count()] == edge_count(). Exposed
+  /// so edge-balanced schedulers can binary-search chunk boundaries
+  /// (ThreadPool's partition_by_weight takes exactly this shape).
+  [[nodiscard]] std::span<const std::uint64_t> offsets() const noexcept {
+    return offsets_;
+  }
+
   [[nodiscard]] Gid target(std::uint64_t slot) const noexcept {
     return targets_[slot];
   }

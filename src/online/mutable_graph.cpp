@@ -22,6 +22,9 @@ void MutableMetadataGraph::upsert_vertex(const Fid& fid, ObjectKind kind) {
       state.live = true;
       state.out.clear();
       ++live_vertices_;
+      ++generation_;
+    } else if (state.kind != kind) {
+      ++generation_;
     }
     state.kind = kind;
     return;
@@ -29,6 +32,7 @@ void MutableMetadataGraph::upsert_vertex(const Fid& fid, ObjectKind kind) {
   index_.emplace(fid, slots_.size());
   slots_.push_back({fid, kind, /*live=*/true, {}});
   ++live_vertices_;
+  ++generation_;
 }
 
 bool MutableMetadataGraph::remove_vertex(const Fid& fid) {
@@ -39,6 +43,7 @@ bool MutableMetadataGraph::remove_vertex(const Fid& fid) {
   state.out.clear();
   state.live = false;
   --live_vertices_;
+  ++generation_;
   return true;
 }
 
@@ -47,6 +52,7 @@ void MutableMetadataGraph::add_edge(const Fid& src, const Fid& dst,
   VertexState& state = state_or_throw(src, "add_edge");
   state.out.emplace_back(dst, kind);
   ++edge_count_;
+  ++generation_;
 }
 
 bool MutableMetadataGraph::remove_edge(const Fid& src, const Fid& dst,
@@ -58,20 +64,29 @@ bool MutableMetadataGraph::remove_edge(const Fid& src, const Fid& dst,
   if (pos == out.end()) return false;
   out.erase(pos);
   --edge_count_;
+  ++generation_;
   return true;
 }
 
 void MutableMetadataGraph::replace_object(
     const Fid& fid, ObjectKind kind,
     std::vector<std::pair<Fid, EdgeKind>> out_edges) {
+  // A scrub that re-reads a healthy inode reproduces its current state
+  // exactly; detect that and leave the generation untouched so cached
+  // snapshots/plans survive no-op scrub passes.
+  if (const auto it = index_.find(fid); it != index_.end()) {
+    const VertexState& state = slots_[it->second];
+    if (state.live && state.kind == kind && state.out == out_edges) return;
+  }
   upsert_vertex(fid, kind);
   VertexState& state = slots_[index_.at(fid)];
   edge_count_ -= state.out.size();
   state.out = std::move(out_edges);
   edge_count_ += state.out.size();
+  ++generation_;
 }
 
-UnifiedGraph MutableMetadataGraph::freeze() const {
+UnifiedGraph MutableMetadataGraph::freeze(ThreadPool* pool) const {
   PartialGraph partial;
   partial.server = "online";
   partial.vertices.reserve(live_vertices_);
@@ -84,7 +99,7 @@ UnifiedGraph MutableMetadataGraph::freeze() const {
     }
   }
   const PartialGraph partials[] = {partial};
-  return UnifiedGraph::aggregate(partials);
+  return UnifiedGraph::aggregate(partials, pool);
 }
 
 }  // namespace faultyrank

@@ -51,8 +51,18 @@ class MutableMetadataGraph {
     return edge_count_;
   }
 
-  /// Immutable snapshot for the rank kernel + detector.
-  [[nodiscard]] UnifiedGraph freeze() const;
+  /// Immutable snapshot for the rank kernel + detector. The pool, if
+  /// given, parallelizes the aggregation (result is identical).
+  [[nodiscard]] UnifiedGraph freeze(ThreadPool* pool = nullptr) const;
+
+  /// Monotone mutation counter: bumped by every call that changes the
+  /// graph (no-op calls — removing an absent edge, say — don't count).
+  /// Callers that cache artifacts derived from a freeze() (snapshots,
+  /// PropagationPlans) compare generations to decide whether the cache
+  /// is still current.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
 
  private:
   struct VertexState {
@@ -68,6 +78,7 @@ class MutableMetadataGraph {
   std::vector<VertexState> slots_;  // insertion order; tombstones stay
   std::size_t live_vertices_ = 0;
   std::uint64_t edge_count_ = 0;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace faultyrank

@@ -53,6 +53,11 @@ OnlineChecker::OnlineChecker(LustreCluster& cluster,
     : cluster_(cluster), config_(config) {}
 
 void OnlineChecker::bootstrap() {
+  // The fresh graph restarts its generation counter, so a stale cache
+  // could collide with a new generation value — drop it explicitly
+  // (plan first: it borrows the snapshot).
+  plan_.reset();
+  snapshot_.reset();
   graph_ = MutableMetadataGraph();
   last_seen_.assign(server_count(), {});
   for (std::size_t server = 0; server < server_count(); ++server) {
@@ -178,7 +183,20 @@ void OnlineChecker::full_scrub() {
 OnlineCheckResult OnlineChecker::check() {
   OnlineCheckResult result;
   WallTimer freeze_timer;
-  const UnifiedGraph snapshot = graph_.freeze();
+  // Re-checks of an unmutated graph reuse the previous snapshot and
+  // PropagationPlan — the common cadence for an online checker polling
+  // a quiet filesystem, where freeze + plan build dominate the check.
+  result.plan_reused = snapshot_.has_value() && plan_.has_value() &&
+                       snapshot_generation_ == graph_.generation();
+  if (!result.plan_reused) {
+    plan_.reset();  // borrows the snapshot: must die before it
+    snapshot_.emplace(graph_.freeze(config_.pool));
+    plan_.emplace(PropagationPlan::build(*snapshot_,
+                                         config_.rank.unpaired_weight,
+                                         config_.pool));
+    snapshot_generation_ = graph_.generation();
+  }
+  const UnifiedGraph& snapshot = *snapshot_;
   result.freeze_wall_seconds = freeze_timer.seconds();
 
   WallTimer rank_timer;
@@ -199,7 +217,7 @@ OnlineCheckResult OnlineChecker::check() {
     rank_config.initial_id_ranks = &warm_id;
     rank_config.initial_prop_ranks = &warm_prop;
   }
-  result.ranks = run_faultyrank(snapshot, rank_config);
+  result.ranks = run_faultyrank(snapshot, *plan_, rank_config, config_.pool);
   if (config_.warm_start) {
     last_ranks_.clear();
     last_ranks_.reserve(snapshot.vertex_count());

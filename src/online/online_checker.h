@@ -21,11 +21,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "core/detector.h"
 #include "core/faultyrank.h"
+#include "core/propagation_plan.h"
 #include "online/mutable_graph.h"
 #include "pfs/cluster.h"
 
@@ -41,6 +43,9 @@ struct OnlineCheckerConfig {
   /// ranks (new vertices start at the uniform value): the fixpoint of a
   /// slightly-changed graph is close, so iterations drop.
   bool warm_start = true;
+  /// Optional worker pool for freeze aggregation, plan construction,
+  /// and the rank iteration. Borrowed; must outlive the checker.
+  ThreadPool* pool = nullptr;
 };
 
 struct OnlineCheckResult {
@@ -51,6 +56,10 @@ struct OnlineCheckResult {
   std::uint64_t unpaired_edges = 0;
   double freeze_wall_seconds = 0.0;
   double rank_wall_seconds = 0.0;
+  /// True when this check ran on the cached snapshot + PropagationPlan
+  /// of a previous check (no mutations since), skipping the freeze and
+  /// plan build entirely.
+  bool plan_reused = false;
 };
 
 class OnlineChecker {
@@ -102,6 +111,14 @@ class OnlineChecker {
   OnlineCheckerConfig config_;
   MutableMetadataGraph graph_;
   std::uint64_t cursor_ = 0;
+
+  // check() cache: the frozen snapshot and its PropagationPlan, valid
+  // while the mutable graph's generation is unchanged. The plan borrows
+  // the snapshot, so it is reset first whenever the snapshot is
+  // replaced.
+  std::optional<UnifiedGraph> snapshot_;
+  std::optional<PropagationPlan> plan_;
+  std::uint64_t snapshot_generation_ = 0;
 
   // Scrub state: a moving (server, ino) position plus the fid each slot
   // carried when last read, so id corruption shows up as

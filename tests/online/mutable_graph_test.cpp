@@ -100,5 +100,43 @@ TEST(MutableGraphTest, TombstonesKeepFreezeOrderStable) {
   EXPECT_EQ(snapshot.vertices().fid_of(1), (Fid{1, 3, 0}));
 }
 
+TEST(MutableGraphTest, GenerationTracksRealMutationsOnly) {
+  MutableMetadataGraph graph;
+  const std::uint64_t g0 = graph.generation();
+
+  graph.upsert_vertex(Fid{1, 1, 0}, ObjectKind::kFile);
+  const std::uint64_t g1 = graph.generation();
+  EXPECT_GT(g1, g0);
+
+  // No-ops leave the generation alone: idempotent upsert, removing an
+  // absent edge/vertex, a scrub that reproduces the current state.
+  graph.upsert_vertex(Fid{1, 1, 0}, ObjectKind::kFile);
+  EXPECT_FALSE(graph.remove_edge(Fid{1, 1, 0}, Fid{9, 9, 0},
+                                 EdgeKind::kDirent));
+  EXPECT_FALSE(graph.remove_vertex(Fid{9, 9, 0}));
+  EXPECT_EQ(graph.generation(), g1);
+
+  graph.add_edge(Fid{1, 1, 0}, Fid{2, 1, 0}, EdgeKind::kLovEa);
+  const std::uint64_t g2 = graph.generation();
+  EXPECT_GT(g2, g1);
+
+  graph.replace_object(Fid{1, 1, 0}, ObjectKind::kFile,
+                       {{Fid{2, 1, 0}, EdgeKind::kLovEa}});
+  EXPECT_EQ(graph.generation(), g2);  // scrub found nothing new
+
+  graph.replace_object(Fid{1, 1, 0}, ObjectKind::kFile,
+                       {{Fid{2, 2, 0}, EdgeKind::kLovEa}});
+  const std::uint64_t g3 = graph.generation();
+  EXPECT_GT(g3, g2);
+
+  EXPECT_TRUE(graph.remove_edge(Fid{1, 1, 0}, Fid{2, 2, 0},
+                                EdgeKind::kLovEa));
+  EXPECT_GT(graph.generation(), g3);
+
+  const std::uint64_t g4 = graph.generation();
+  EXPECT_TRUE(graph.remove_vertex(Fid{1, 1, 0}));
+  EXPECT_GT(graph.generation(), g4);
+}
+
 }  // namespace
 }  // namespace faultyrank

@@ -241,5 +241,71 @@ TEST(OnlineCheckerTest, WarmStartDoesNotChangeFindings) {
   }
 }
 
+TEST(OnlineCheckerTest, PlanReusedAcrossUnchangedChecks) {
+  LustreCluster cluster = testing::make_populated_cluster(120, 72);
+  ChangeLog log;
+  cluster.attach_changelog(&log);
+  OnlineCheckerConfig config;
+  config.warm_start = false;  // identical inputs → identical ranks
+  OnlineChecker checker(cluster, config);
+  checker.bootstrap();
+
+  // First check builds the snapshot + plan; the next two reuse them.
+  const OnlineCheckResult first = checker.check();
+  EXPECT_FALSE(first.plan_reused);
+  const OnlineCheckResult second = checker.check();
+  EXPECT_TRUE(second.plan_reused);
+  const OnlineCheckResult third = checker.check();
+  EXPECT_TRUE(third.plan_reused);
+  EXPECT_EQ(first.ranks.id_rank, second.ranks.id_rank);
+  EXPECT_EQ(second.ranks.id_rank, third.ranks.id_rank);
+
+  // Any real mutation invalidates the cache; the rebuilt plan sticks
+  // again afterwards.
+  cluster.create_file(cluster.root(), "newcomer", 64 * 1024);
+  checker.catch_up();
+  const OnlineCheckResult after_churn = checker.check();
+  EXPECT_FALSE(after_churn.plan_reused);
+  EXPECT_GT(after_churn.vertices, first.vertices);
+  EXPECT_TRUE(checker.check().plan_reused);
+}
+
+TEST(OnlineCheckerTest, NoOpScrubKeepsPlanCached) {
+  LustreCluster cluster = testing::make_populated_cluster(80, 73);
+  ChangeLog log;
+  cluster.attach_changelog(&log);
+  OnlineChecker checker(cluster);
+  checker.bootstrap();
+  (void)checker.check();
+
+  // Scrubbing a healthy, unchanged filesystem reproduces every object
+  // verbatim — the generation must not move, so the plan survives.
+  checker.full_scrub();
+  EXPECT_TRUE(checker.check().plan_reused);
+
+  checker.bootstrap();  // a re-bootstrap always drops the cache
+  EXPECT_FALSE(checker.check().plan_reused);
+}
+
+TEST(OnlineCheckerTest, PooledCheckMatchesSerialCheck) {
+  LustreCluster c1 = testing::make_populated_cluster(150, 74);
+  LustreCluster c2 = testing::make_populated_cluster(150, 74);
+
+  ThreadPool pool(4);
+  OnlineCheckerConfig pooled_config;
+  pooled_config.pool = &pool;
+  OnlineChecker pooled(c1, pooled_config);
+  OnlineChecker serial(c2);
+  pooled.bootstrap();
+  serial.bootstrap();
+
+  const OnlineCheckResult a = pooled.check();
+  const OnlineCheckResult b = serial.check();
+  EXPECT_EQ(a.ranks.id_rank, b.ranks.id_rank);
+  EXPECT_EQ(a.ranks.prop_rank, b.ranks.prop_rank);
+  EXPECT_EQ(a.ranks.iterations, b.ranks.iterations);
+  EXPECT_EQ(a.report.findings.size(), b.report.findings.size());
+}
+
 }  // namespace
 }  // namespace faultyrank
