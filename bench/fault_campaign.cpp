@@ -1,0 +1,159 @@
+// Operational-fault campaign: the robustness counterpart of the
+// metadata-fault campaigns. A populated cluster gets both kinds of
+// damage at once — injected metadata inconsistencies AND a hostile
+// environment (transient EIOs, latency spikes, one OST crashing hard
+// mid-scan) — and the degraded check must hold the line:
+//
+//   - the pipeline completes without throwing,
+//   - coverage comes back < 100% with the crashed server named,
+//   - every verifiable finding involves an injected victim (zero
+//     false positives), and
+//   - unverifiable findings (evidence on the dead OST) carry no repair.
+//
+// Exit status 1 unless all of the above hold, so scripts/check.sh can
+// gate on it. `--smoke` runs one seed instead of the full sweep.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "checker/checker.h"
+#include "faults/injector.h"
+#include "workload/namespace_gen.h"
+
+using namespace faultyrank;
+
+namespace {
+
+constexpr std::size_t kOstCount = 8;
+constexpr const char* kCrashedServer = "oss5";
+
+struct CampaignOutcome {
+  bool completed = false;
+  double coverage = 1.0;
+  std::size_t findings = 0;
+  std::size_t unverifiable = 0;
+  std::size_t false_positives = 0;
+  std::size_t repairs_on_unverifiable = 0;
+  std::size_t recalled = 0;
+  std::size_t recall_eligible = 0;
+  std::string failed_servers;
+};
+
+LustreCluster fresh_cluster(std::uint64_t seed) {
+  LustreCluster cluster(kOstCount, StripePolicy{64 * 1024, -1});
+  NamespaceConfig config;
+  config.file_count = 400;
+  config.seed = seed;
+  populate_namespace(cluster, config);
+  return cluster;
+}
+
+bool touches_lost(const LustreCluster& cluster, const Fid& fid,
+                  std::uint64_t lost_seq) {
+  if (fid.seq == lost_seq) return true;
+  const Inode* inode = cluster.stat(fid);
+  if (inode == nullptr) return false;
+  if (inode->lov_ea.has_value()) {
+    for (const auto& slot : inode->lov_ea->stripes) {
+      if (slot.stripe.seq == lost_seq) return true;
+    }
+  }
+  return false;
+}
+
+CampaignOutcome run_campaign(std::uint64_t seed) {
+  CampaignOutcome outcome;
+  LustreCluster cluster = fresh_cluster(seed);
+  FaultInjector injector(cluster, seed * 13 + 7);
+  const std::vector<GroundTruth> truths = injector.inject_campaign(6);
+  const std::uint64_t lost_seq = cluster.osts()[5].fids.seq();
+
+  OpFaultConfig fault_config;
+  fault_config.seed = seed;
+  fault_config.transient_eio_rate = 0.05;
+  fault_config.latency_spike_rate = 0.02;
+  fault_config.crash_after_reads[kCrashedServer] = 25;
+  OpFaultSchedule faults(fault_config);
+
+  CheckerConfig config;
+  config.faults = &faults;
+  CheckerResult result;
+  try {
+    result = run_checker(cluster, config);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "seed %llu: degraded check threw: %s\n",
+                 static_cast<unsigned long long>(seed), error.what());
+    return outcome;  // completed stays false
+  }
+  outcome.completed = true;
+  outcome.coverage = result.coverage.coverage;
+  outcome.findings = result.report.findings.size();
+  outcome.unverifiable = result.report.unverifiable_count();
+  for (const std::string& server : result.failed_servers) {
+    if (!outcome.failed_servers.empty()) outcome.failed_servers += ",";
+    outcome.failed_servers += server;
+  }
+  for (const Finding& finding : result.report.findings) {
+    if (finding.unverifiable) {
+      if (finding.repair.kind != RepairKind::kNone) {
+        ++outcome.repairs_on_unverifiable;
+      }
+      continue;
+    }
+    bool involves_a_victim = false;
+    for (const GroundTruth& truth : truths) {
+      for (const Fid& fid : {truth.victim, truth.current}) {
+        if (finding.convicted_object == fid || finding.source == fid ||
+            finding.target == fid || finding.repair.target == fid ||
+            finding.repair.value == fid) {
+          involves_a_victim = true;
+        }
+      }
+    }
+    if (!involves_a_victim) ++outcome.false_positives;
+  }
+
+  for (const GroundTruth& truth : truths) {
+    if (touches_lost(cluster, truth.victim, lost_seq) ||
+        touches_lost(cluster, truth.current, lost_seq)) {
+      continue;
+    }
+    ++outcome.recall_eligible;
+    if (evaluate_report(result.report, truth).detected) ++outcome.recalled;
+  }
+  return outcome;
+}
+
+bool report(std::uint64_t seed, const CampaignOutcome& o) {
+  const bool ok = o.completed && o.coverage < 1.0 &&
+                  o.failed_servers == kCrashedServer &&
+                  o.false_positives == 0 && o.repairs_on_unverifiable == 0 &&
+                  o.recalled == o.recall_eligible;
+  std::printf(
+      "seed %-6llu %-4s coverage=%.3f failed=[%s] findings=%zu "
+      "(unverifiable=%zu) false_pos=%zu recall=%zu/%zu\n",
+      static_cast<unsigned long long>(seed), ok ? "ok" : "FAIL", o.coverage,
+      o.failed_servers.c_str(), o.findings, o.unverifiable,
+      o.false_positives, o.recalled, o.recall_eligible);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const std::vector<std::uint64_t> seeds =
+      smoke ? std::vector<std::uint64_t>{1201}
+            : std::vector<std::uint64_t>{1201, 1202, 1203, 1204, 1205, 1206};
+
+  std::printf("operational fault campaign: %zu OSTs, %s crashes after 25 "
+              "reads, 5%% transient EIO, 2%% latency spikes\n",
+              kOstCount, kCrashedServer);
+  int failures = 0;
+  for (const std::uint64_t seed : seeds) {
+    if (!report(seed, run_campaign(seed))) ++failures;
+  }
+  std::printf("%zu campaign(s), %d failure(s)\n", seeds.size(), failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # One-command correctness gate (DESIGN.md §8): default build + full
-# ctest, the TSan concurrency suite, the ASan+UBSan full suite, and the
-# fr_lint static pass. CI and pre-merge both run exactly this.
+# ctest, the TSan concurrency suite, the ASan+UBSan full suite, the
+# fr_lint static pass, and the operational-fault robustness gate
+# (DESIGN.md §10). CI and pre-merge both run exactly this.
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -37,7 +38,14 @@ run ctest --preset ubsan -j "${JOBS}"
 #    default suite already gates on it.
 run ./build/tools/fr_lint src bench
 
-# 5. Kernel-comparison smoke: the PropagationPlan kernel must agree
+# 5. Robustness gate: the `robustness`-labelled suite (operational
+#    faults, degraded coverage, checkpoint/resume determinism) plus the
+#    fault-campaign smoke — one seed of metadata faults + a mid-scan OST
+#    crash; exits non-zero on any false positive or missed recall.
+run ctest --preset default -j "${JOBS}" -L robustness --output-on-failure
+run ./build/bench/fault_campaign --smoke
+
+# 6. Kernel-comparison smoke: the PropagationPlan kernel must agree
 #    bitwise with the naive reference (exit 1 otherwise). Small graph —
 #    this is a correctness gate; the committed BENCH_kernels.json comes
 #    from the full-size Table V run (see README).

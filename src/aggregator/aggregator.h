@@ -22,14 +22,46 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <span>
+#include <string>
+#include <vector>
 
 #include "common/sim_clock.h"
 #include "common/thread_pool.h"
+#include "graph/coverage.h"
 #include "graph/unified_graph.h"
 #include "scanner/scanner.h"
 
 namespace faultyrank {
+
+/// Strict-mode pipeline failure: at least one server scan failed and
+/// degraded operation was not allowed. Unlike a bare exception from a
+/// single scanner task, this is raised only after every scan has run to
+/// completion, and it names every failed server.
+class PipelineError : public std::runtime_error {
+ public:
+  PipelineError(const std::string& message,
+                std::vector<std::string> failed_servers)
+      : std::runtime_error(message),
+        failed_servers_(std::move(failed_servers)) {}
+
+  [[nodiscard]] const std::vector<std::string>& failed_servers()
+      const noexcept {
+    return failed_servers_;
+  }
+
+ private:
+  std::vector<std::string> failed_servers_;
+};
+
+/// Raised by the interrupt_after_servers test hook after the checkpoint
+/// has been flushed — the caller resumes by re-running with the same
+/// checkpoint_path.
+class PipelineInterrupted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct AggregationResult {
   UnifiedGraph graph;
@@ -48,14 +80,49 @@ struct AggregationResult {
   /// the scans (measured from the moment the last scanner finished).
   double wall_seconds = 0.0;
   std::uint64_t transferred_bytes = 0;
+  /// What fraction of servers contributed, which FID spaces were lost
+  /// to failed scans (filled by the pipeline entry point, which knows
+  /// the cluster), and which individual inodes were quarantined.
+  CoverageInfo coverage;
 };
 
 /// Aggregates a finished cluster scan into the unified graph. The pool,
 /// if given, decodes remote partials concurrently and parallelizes the
-/// merge; results are byte-identical to the serial path.
+/// merge; results are byte-identical to the serial path. Scans with
+/// status kFailed are excluded from the graph and the transfer
+/// accounting; coverage reflects the surviving fraction (lost FID
+/// sequences cannot be derived from scan results alone — use the
+/// pipeline entry point for that).
 [[nodiscard]] AggregationResult aggregate(std::span<const ScanResult> scans,
                                           const NetModel& net = {},
                                           ThreadPool* pool = nullptr);
+
+/// Everything the fault-tolerant pipeline can be asked to do beyond a
+/// plain scan: operational faults to inject, retry budget, whether a
+/// failed server degrades or aborts the run, and checkpointing.
+struct PipelineConfig {
+  ThreadPool* pool = nullptr;
+  DiskModel mdt_disk = DiskModel::ssd();
+  DiskModel ost_disk = DiskModel::hdd();
+  NetModel net;
+  /// Operational fault schedule; nullptr scans fault-free.
+  OpFaultSchedule* faults = nullptr;
+  RetryPolicy retry;
+  /// true: failed servers are dropped and reported via coverage /
+  /// failed_servers. false: after every scan has finished, throw
+  /// PipelineError naming all failed servers.
+  bool allow_degraded = true;
+  /// Non-empty: load this checkpoint if present (resuming completed
+  /// scans), and save after completed scans. The write is atomic.
+  std::string checkpoint_path;
+  /// Save after every N newly completed scans (the final state is
+  /// always flushed).
+  std::size_t checkpoint_every = 1;
+  /// Test hook: after this many newly completed scans, flush the
+  /// checkpoint and throw PipelineInterrupted — a deterministic stand-in
+  /// for killing the aggregator mid-run.
+  std::size_t interrupt_after_servers = std::numeric_limits<std::size_t>::max();
+};
 
 /// Streaming scan→aggregate pipeline (paper §IV-B overlap).
 struct PipelineResult {
@@ -65,13 +132,33 @@ struct PipelineResult {
   /// merge); compare against scan.wall_seconds + agg.wall_seconds of
   /// the barriered path to see the overlap win.
   double wall_seconds = 0.0;
+  /// Labels of servers whose scan failed (crash, deadline, or an
+  /// unexpected error), in slot order. Empty on a full-coverage run.
+  std::vector<std::string> failed_servers;
+  /// How many slots were prefilled from the checkpoint instead of
+  /// being rescanned.
+  std::size_t servers_resumed = 0;
 };
 
 /// Scans every server and aggregates, streaming each finished partial
 /// into the decoder through a bounded queue instead of barriering on
 /// the full cluster scan. Falls back to the sequential scan + batch
-/// aggregate when `pool` is null or single-threaded; the graph and all
-/// virtual-time numbers are identical either way.
+/// aggregate when the pool is null or single-threaded; the graph and
+/// all virtual-time numbers are identical either way.
+///
+/// Fault tolerance: a server crash or blown deadline never aborts the
+/// run in degraded mode — the survivors' partials form the unified
+/// graph and agg.coverage records exactly what was lost. With a
+/// checkpoint path, completed scans persist across interruptions, and
+/// a resumed run reproduces the uninterrupted run's ranks bit for bit
+/// (scanners, fault schedules and aggregation are all deterministic).
+[[nodiscard]] PipelineResult scan_and_aggregate(const LustreCluster& cluster,
+                                                const PipelineConfig& config);
+
+/// Strict legacy entry point: no faults, no checkpointing, and any
+/// failed scan raises PipelineError (after all scans have finished,
+/// naming every failed server — completed work is not discarded on the
+/// first failure).
 [[nodiscard]] PipelineResult scan_and_aggregate(
     const LustreCluster& cluster, ThreadPool* pool = nullptr,
     const DiskModel& mdt_disk = DiskModel::ssd(),

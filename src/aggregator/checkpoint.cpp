@@ -1,0 +1,119 @@
+#include "aggregator/checkpoint.h"
+
+#include "pfs/persistence.h"
+
+namespace faultyrank {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x46524350;  // "FRCP"
+constexpr std::uint32_t kVersion = 1;
+
+void put_scan_result(ByteWriter& w, const ScanResult& scan) {
+  w.put(static_cast<std::uint8_t>(scan.status));
+  w.put(static_cast<std::uint8_t>(scan.local_to_mds ? 1 : 0));
+  w.put(scan.sim_seconds);
+  w.put(scan.wall_seconds);
+  w.put(scan.inodes_scanned);
+  w.put(scan.directories_visited);
+  w.put(scan.read_attempts);
+  w.put(scan.retries);
+  w.put(static_cast<std::uint32_t>(scan.quarantined.size()));
+  for (const Fid& fid : scan.quarantined) {
+    w.put(fid.seq);
+    w.put(fid.oid);
+    w.put(fid.ver);
+  }
+  w.put_string(scan.error);
+  w.put_bytes(scan.graph.serialize());
+}
+
+ScanResult get_scan_result(ByteReader& r) {
+  ScanResult scan;
+  const auto status = r.get<std::uint8_t>();
+  if (status > static_cast<std::uint8_t>(ScanStatus::kFailed)) {
+    throw SerdesError("checkpoint: invalid scan status");
+  }
+  scan.status = static_cast<ScanStatus>(status);
+  scan.local_to_mds = r.get<std::uint8_t>() != 0;
+  scan.sim_seconds = r.get<double>();
+  scan.wall_seconds = r.get<double>();
+  scan.inodes_scanned = r.get<std::uint64_t>();
+  scan.directories_visited = r.get<std::uint64_t>();
+  scan.read_attempts = r.get<std::uint64_t>();
+  scan.retries = r.get<std::uint64_t>();
+  const auto quarantined = r.bounded_count(r.get<std::uint32_t>(), 16);
+  scan.quarantined.reserve(quarantined);
+  for (std::uint64_t i = 0; i < quarantined; ++i) {
+    Fid fid;
+    fid.seq = r.get<std::uint64_t>();
+    fid.oid = r.get<std::uint32_t>();
+    fid.ver = r.get<std::uint32_t>();
+    scan.quarantined.push_back(fid);
+  }
+  scan.error = r.get_string();
+  scan.graph = PartialGraph::deserialize(r.get_bytes());
+  return scan;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_checkpoint(
+    const ScanCheckpoint& checkpoint) {
+  ByteWriter w;
+  w.put(kMagic);
+  w.put(kVersion);
+  w.put(static_cast<std::uint32_t>(checkpoint.labels.size()));
+  for (std::size_t i = 0; i < checkpoint.labels.size(); ++i) {
+    w.put_string(checkpoint.labels[i]);
+    const bool present =
+        i < checkpoint.results.size() && checkpoint.results[i].has_value();
+    w.put(static_cast<std::uint8_t>(present ? 1 : 0));
+    if (present) put_scan_result(w, *checkpoint.results[i]);
+  }
+  return w.take();
+}
+
+ScanCheckpoint deserialize_checkpoint(const std::vector<std::uint8_t>& bytes) {
+  try {
+    ByteReader r(bytes);
+    if (r.get<std::uint32_t>() != kMagic) {
+      throw PersistenceError("not a scan checkpoint");
+    }
+    if (r.get<std::uint32_t>() != kVersion) {
+      throw PersistenceError("unsupported checkpoint version");
+    }
+    ScanCheckpoint checkpoint;
+    // Each slot encodes at least a label length and a presence byte.
+    const auto slots = r.bounded_count(r.get<std::uint32_t>(), 5);
+    checkpoint.labels.reserve(slots);
+    checkpoint.results.resize(slots);
+    for (std::uint64_t i = 0; i < slots; ++i) {
+      checkpoint.labels.push_back(r.get_string());
+      if (r.get<std::uint8_t>() != 0) {
+        checkpoint.results[i] = get_scan_result(r);
+      }
+    }
+    if (!r.exhausted()) {
+      throw PersistenceError("trailing bytes in checkpoint");
+    }
+    return checkpoint;
+  } catch (const SerdesError& error) {
+    throw PersistenceError(std::string("corrupt checkpoint: ") + error.what());
+  }
+}
+
+void save_checkpoint(const ScanCheckpoint& checkpoint,
+                     const std::string& path) {
+  atomic_write_file(serialize_checkpoint(checkpoint), path);
+}
+
+ScanCheckpoint load_checkpoint(const std::string& path) {
+  try {
+    return deserialize_checkpoint(read_file_bytes(path));
+  } catch (const PersistenceError& error) {
+    throw PersistenceError(std::string(error.what()) + " (" + path + ")");
+  }
+}
+
+}  // namespace faultyrank

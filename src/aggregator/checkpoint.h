@@ -1,0 +1,51 @@
+// Scan-phase checkpointing.
+//
+// The scan phase dominates a full check's runtime (hours on a real
+// cluster), so losing every completed per-server scan to an aggregator
+// restart is the single most expensive failure. The pipeline therefore
+// checkpoints each completed ScanResult — graph bytes included, via the
+// real wire format — into one atomic file, keyed per slot by server
+// label. A resumed run prefills the checkpointed slots and only rescans
+// the rest; because scanners, fault schedules and aggregation are all
+// deterministic, the resumed run's ranks are bit-identical to an
+// uninterrupted run over the same cluster.
+//
+// Format "FRCP" v1: header, slot count, then per slot a presence byte
+// and — when present — the server label, scan counters and the
+// length-prefixed PartialGraph wire encoding. Corruption in any field
+// throws PersistenceError (never UB); counts are validated against the
+// remaining bytes before any allocation.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scanner/scanner.h"
+
+namespace faultyrank {
+
+struct ScanCheckpoint {
+  /// Slot → server label for the cluster this checkpoint belongs to
+  /// (MDTs first, then OSTs — the pipeline's slot order). A resume
+  /// against a cluster with different labels is rejected.
+  std::vector<std::string> labels;
+  /// Completed scans, by slot; nullopt for slots still to be scanned.
+  std::vector<std::optional<ScanResult>> results;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> serialize_checkpoint(
+    const ScanCheckpoint& checkpoint);
+
+/// Throws PersistenceError on any malformed input.
+[[nodiscard]] ScanCheckpoint deserialize_checkpoint(
+    const std::vector<std::uint8_t>& bytes);
+
+/// Atomic write (temp file + rename): a crash mid-save leaves the
+/// previous checkpoint intact.
+void save_checkpoint(const ScanCheckpoint& checkpoint,
+                     const std::string& path);
+
+[[nodiscard]] ScanCheckpoint load_checkpoint(const std::string& path);
+
+}  // namespace faultyrank

@@ -37,6 +37,15 @@ struct CheckerConfig {
   /// consistent state (counts as a second full pass; not timed into the
   /// Table VI breakdown).
   bool verify_after_repair = false;
+  /// Operational fault schedule for the scan phase; nullptr scans
+  /// fault-free. With faults, the check runs in degraded mode: a
+  /// crashed server reduces coverage instead of aborting, and findings
+  /// whose evidence was lost come back unverifiable.
+  OpFaultSchedule* faults = nullptr;
+  RetryPolicy retry;
+  /// Non-empty: checkpoint completed scans here and resume from an
+  /// existing checkpoint (see PipelineConfig).
+  std::string checkpoint_path;
 };
 
 struct CheckerTimings {
@@ -79,6 +88,13 @@ struct CheckerResult {
   /// Set when verify_after_repair ran: true iff the re-check found a
   /// fully consistent filesystem.
   bool verified_consistent = false;
+
+  /// Scan coverage this check actually achieved (1.0 = every server).
+  CoverageInfo coverage;
+  /// Servers whose scan failed (crash or deadline), in slot order.
+  std::vector<std::string> failed_servers;
+  /// Slots restored from the checkpoint instead of rescanned.
+  std::size_t servers_resumed = 0;
 };
 
 /// Runs the complete pipeline against `cluster`.

@@ -37,6 +37,13 @@ class ByteWriter {
     bytes_.insert(bytes_.end(), raw, raw + sizeof(T));
   }
 
+  /// Length-prefixed opaque blob (nested wire encodings, e.g. a
+  /// partial graph inside a checkpoint).
+  void put_bytes(const std::vector<std::uint8_t>& blob) {
+    put(static_cast<std::uint64_t>(blob.size()));
+    bytes_.insert(bytes_.end(), blob.begin(), blob.end());
+  }
+
   void put_string(const std::string& s) {
     if (s.size() > UINT32_MAX) {
       throw SerdesError("string too long to encode: " +
@@ -87,8 +94,32 @@ class ByteReader {
     return s;
   }
 
+  [[nodiscard]] std::vector<std::uint8_t> get_bytes() {
+    const auto len = get<std::uint64_t>();
+    if (len > size_ - pos_) throw SerdesError("truncated blob");
+    std::vector<std::uint8_t> blob(data_ + pos_,
+                                   data_ + pos_ + static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return blob;
+  }
+
   [[nodiscard]] bool exhausted() const { return pos_ == size_; }
   [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+
+  /// Validates a deserialized element count against the bytes left,
+  /// given a lower bound on the encoded size of one element. A hostile
+  /// length field cannot then drive a resize()/reserve() beyond the
+  /// input's own size — the classic decompression-bomb shape.
+  [[nodiscard]] std::uint64_t bounded_count(std::uint64_t count,
+                                            std::size_t min_element_bytes) {
+    const std::size_t unit = min_element_bytes == 0 ? 1 : min_element_bytes;
+    if (count > remaining() / unit) {
+      throw SerdesError("implausible element count " + std::to_string(count) +
+                        " with " + std::to_string(remaining()) +
+                        " bytes remaining");
+    }
+    return count;
+  }
 
  private:
   const std::uint8_t* data_;

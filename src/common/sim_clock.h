@@ -47,6 +47,13 @@ struct DiskModel {
             static_cast<double>(bytes_each) / bandwidth_bytes_per_s);
   }
 
+  /// One scattered read of `bytes` — what a retried inode-table block
+  /// costs: the head left the streaming position, so the re-read pays a
+  /// fresh seek plus the transfer (resilient scanner, op_faults).
+  [[nodiscard]] double random_read(std::uint64_t bytes) const noexcept {
+    return seek_seconds + static_cast<double>(bytes) / bandwidth_bytes_per_s;
+  }
+
   [[nodiscard]] static DiskModel hdd() noexcept { return DiskModel{}; }
   [[nodiscard]] static DiskModel ssd() noexcept {
     return DiskModel{.seek_seconds = 60e-6, .bandwidth_bytes_per_s = 500e6};

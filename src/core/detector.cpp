@@ -14,6 +14,12 @@ std::size_t DetectionReport::count(InconsistencyCategory category) const {
                     }));
 }
 
+std::size_t DetectionReport::unverifiable_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [](const Finding& f) { return f.unverifiable; }));
+}
+
 RepairPlan DetectionReport::repair_plan() const {
   // Two findings may recommend the same physical write (e.g. every
   // child of a mis-identified directory independently recovers the same
@@ -150,6 +156,24 @@ void handle_dangling(Ctx& ctx, const UnpairedEdge& e,
   f.target = ctx.fid(e.dst);
   f.edge_kind = e.kind;
   fill_rank_evidence(ctx, e.src, e.dst, f);
+
+  // Degraded coverage: the referenced id lives in a FID space the scan
+  // lost (crashed server, quarantined inode). The object may well exist
+  // — this reference dangles because the scan is incomplete, not
+  // because anyone's metadata is wrong. Report it unverifiable and
+  // convict nothing. This must run before the aggregate-evidence branch
+  // below: a healthy file whose stripes all sat on a crashed OST would
+  // otherwise look like "pairs with none of its references" and get its
+  // property convicted — a false positive manufactured by the outage.
+  if (ctx.config.coverage.fid_lost(f.target)) {
+    f.culprit = FaultyField::kUndetermined;
+    f.repair.kind = RepairKind::kNone;
+    f.unverifiable = true;
+    f.note = "referenced id lies in lost scan coverage; re-check when the "
+             "server recovers";
+    out.push_back(std::move(f));
+    return;
+  }
 
   // Aggregate evidence (paper §II-C): if the source cannot pair with
   // *any* of its references of this kind — several all dangle, none
@@ -669,6 +693,30 @@ DetectionReport detect_inconsistencies(const UnifiedGraph& graph,
   // Namespace reachability (only meaningful when a root is known).
   if (!config.root.is_null()) {
     handle_namespace_cycles(ctx, report.findings);
+  }
+
+  // Conservative degraded-coverage post-pass: any finding whose
+  // endpoints, convicted object, or repair operands touch the lost
+  // region cannot be verified against what is actually on the missing
+  // server — demote it to report-only. (The dangling handler catches
+  // the common case inline; this sweep guarantees no repair anywhere
+  // is justified by evidence the scan never saw.)
+  if (!config.coverage.complete()) {
+    for (Finding& f : report.findings) {
+      if (f.unverifiable) continue;
+      const bool touches_lost =
+          config.coverage.fid_lost(f.source) ||
+          config.coverage.fid_lost(f.target) ||
+          config.coverage.fid_lost(f.convicted_object) ||
+          config.coverage.fid_lost(f.repair.target) ||
+          config.coverage.fid_lost(f.repair.value) ||
+          config.coverage.fid_lost(f.repair.stale);
+      if (!touches_lost) continue;
+      f.unverifiable = true;
+      f.repair.kind = RepairKind::kNone;
+      if (!f.note.empty()) f.note += "; ";
+      f.note += "evidence touches lost scan coverage";
+    }
   }
 
   return report;

@@ -15,6 +15,7 @@
 
 #include "core/faultyrank.h"
 #include "core/repair.h"
+#include "graph/coverage.h"
 #include "graph/unified_graph.h"
 
 namespace faultyrank {
@@ -88,6 +89,13 @@ struct Finding {
 
   RepairAction repair;
   std::string note;
+
+  /// The evidence for this finding lies (at least partly) in a region
+  /// the scan lost — a crashed server's FID space or a quarantined
+  /// inode. The referenced object may exist and simply be unobservable,
+  /// so no repair is recommended (kNone) and the finding is reported
+  /// for re-checking once coverage is restored.
+  bool unverifiable = false;
 };
 
 struct DetectorConfig {
@@ -99,6 +107,12 @@ struct DetectorConfig {
   /// FID of the filesystem root (exempt from the unreferenced check —
   /// nothing points at the root directory by design).
   Fid root;
+  /// What the scan failed to observe (from the degraded pipeline).
+  /// Findings whose evidence touches the lost region are labeled
+  /// unverifiable instead of convicting anyone: a reference into a
+  /// crashed OST dangles because the scan is incomplete, not because
+  /// the metadata is wrong. Default: full coverage, no effect.
+  CoverageInfo coverage;
 };
 
 struct DetectionReport {
@@ -106,6 +120,7 @@ struct DetectionReport {
 
   [[nodiscard]] bool consistent() const noexcept { return findings.empty(); }
   [[nodiscard]] std::size_t count(InconsistencyCategory category) const;
+  [[nodiscard]] std::size_t unverifiable_count() const;
   [[nodiscard]] RepairPlan repair_plan() const;
 };
 

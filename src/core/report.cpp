@@ -60,10 +60,17 @@ std::string render_text(const DetectionReport& report) {
              std::to_string(count) + "\n";
     }
   }
+  if (const std::size_t unverifiable = report.unverifiable_count();
+      unverifiable > 0) {
+    out += "  unverifiable (lost scan coverage): " +
+           std::to_string(unverifiable) + "\n";
+  }
   std::size_t index = 0;
   for (const Finding& f : report.findings) {
     out += "\n[" + std::to_string(index++) + "] " +
-           std::string(to_string(f.category)) + "\n";
+           std::string(to_string(f.category));
+    if (f.unverifiable) out += " [unverifiable]";
+    out += "\n";
     if (!f.source.is_null()) out += "  source:  " + f.source.to_string() + "\n";
     out += "  target:  " + f.target.to_string() + "\n";
     out += "  culprit: " + std::string(to_string(f.culprit));
@@ -93,6 +100,8 @@ std::string render_json(const DetectionReport& report) {
          std::string(report.consistent() ? "true" : "false") + ",\n";
   out += "  \"finding_count\": " + std::to_string(report.findings.size()) +
          ",\n";
+  out += "  \"unverifiable_count\": " +
+         std::to_string(report.unverifiable_count()) + ",\n";
   out += "  \"categories\": {";
   bool first = true;
   for (const InconsistencyCategory category : kCategories) {
@@ -121,6 +130,8 @@ std::string render_json(const DetectionReport& report) {
            std::string(to_string(f.repair.kind)) + "\", \"target\": \"" +
            f.repair.target.to_string() + "\", \"value\": \"" +
            f.repair.value.to_string() + "\"}";
+    out += ", \"unverifiable\": " +
+           std::string(f.unverifiable ? "true" : "false");
     out += ", \"note\": \"" + json_escape(f.note) + "\"}";
     out += i + 1 < report.findings.size() ? ",\n" : "\n";
   }

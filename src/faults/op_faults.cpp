@@ -1,0 +1,99 @@
+#include "faults/op_faults.h"
+
+#include "common/random.h"
+
+namespace faultyrank {
+
+namespace {
+
+// Distinct streams per decision kind so adding one never perturbs the
+// others (a latency-rate change must not move the EIO schedule).
+constexpr std::uint64_t kSlotStream = 0x736c6f74ULL;     // "slot"
+constexpr std::uint64_t kAttemptStream = 0x61747470ULL;  // "attp"
+constexpr std::uint64_t kJitterStream = 0x6a697474ULL;   // "jitt"
+
+std::uint64_t hash_label(std::uint64_t seed, const std::string& label) {
+  std::uint64_t state = seed;
+  std::uint64_t h = splitmix64(state);
+  for (const char c : label) {
+    state ^= static_cast<unsigned char>(c);
+    h ^= splitmix64(state);
+  }
+  return h;
+}
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t state = a ^ (b * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(state);
+}
+
+}  // namespace
+
+ServerFaultSchedule::ServerFaultSchedule(const OpFaultConfig& config,
+                                         std::string label)
+    : config_(&config),
+      label_(std::move(label)),
+      base_(hash_label(config.seed, label_)) {
+  const auto it = config.crash_after_reads.find(label_);
+  if (it != config.crash_after_reads.end()) crash_after_ = it->second;
+}
+
+void ServerFaultSchedule::on_read() {
+  if (down_) {
+    throw ServerCrashError(label_ + ": server is down");
+  }
+  ++reads_;
+  if (crash_after_ != 0 && reads_ > crash_after_) {
+    down_ = true;
+    throw ServerCrashError(label_ + ": crashed after " +
+                           std::to_string(crash_after_) + " reads");
+  }
+}
+
+ReadFault ServerFaultSchedule::probe(std::uint64_t slot,
+                                     std::uint32_t attempt) const {
+  ReadFault fault;
+  // Per-slot stream: decides whether this inode's read is faulted at
+  // all and for how many attempts. A faulted inode clears after
+  // 1..max_fault_attempts failures, so bounded retries always converge.
+  Rng rng(mix(base_ ^ kSlotStream, slot));
+  const std::uint32_t budget =
+      config_->max_fault_attempts == 0 ? 1 : config_->max_fault_attempts;
+  if (config_->transient_eio_rate > 0.0 &&
+      rng.chance(config_->transient_eio_rate)) {
+    const std::uint32_t fail_attempts =
+        1 + static_cast<std::uint32_t>(rng.below(budget));
+    fault.transient_eio = attempt <= fail_attempts;
+  }
+  if (config_->torn_ea_rate > 0.0 && rng.chance(config_->torn_ea_rate)) {
+    const std::uint32_t fail_attempts =
+        1 + static_cast<std::uint32_t>(rng.below(budget));
+    fault.torn_ea = attempt <= fail_attempts;
+  }
+  // Per-attempt stream: latency spikes hit individual reads, retries
+  // included.
+  if (config_->latency_spike_rate > 0.0) {
+    Rng attempt_rng(mix(mix(base_ ^ kAttemptStream, slot), attempt));
+    if (attempt_rng.chance(config_->latency_spike_rate)) {
+      fault.extra_latency_seconds = config_->latency_spike_seconds;
+    }
+  }
+  return fault;
+}
+
+double ServerFaultSchedule::jitter_unit(std::uint64_t slot,
+                                        std::uint32_t attempt) const {
+  Rng rng(mix(mix(base_ ^ kJitterStream, slot), attempt));
+  return rng.uniform();
+}
+
+ServerFaultSchedule& OpFaultSchedule::server(const std::string& label) {
+  const MutexLock lock(mutex_);
+  auto& slot = servers_[label];
+  if (!slot) {
+    slot = std::make_unique<ServerFaultSchedule>(config_, label);
+  }
+  return *slot;
+}
+
+}  // namespace faultyrank

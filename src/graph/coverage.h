@@ -1,0 +1,48 @@
+// Degraded-coverage bookkeeping for fault-tolerant checking.
+//
+// When a server dies mid-scan or individual inodes are quarantined as
+// unreadable, the unified graph is built from the surviving partial
+// graphs only. CoverageInfo records exactly which identity space was
+// lost — whole FID sequences for down servers, individual FIDs for
+// quarantined inodes — so the detector can label findings whose
+// evidence lies in the lost region *unverifiable* instead of emitting
+// them as inconsistencies: a reference into a crashed OST dangles
+// because the scan is incomplete, not because the metadata is wrong.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/fid.h"
+
+namespace faultyrank {
+
+struct CoverageInfo {
+  /// Fraction of servers whose scan completed (possibly degraded):
+  /// surviving / total. 1.0 when every scanner reported.
+  double coverage = 1.0;
+  /// FID sequences owned by servers that failed entirely (crashed
+  /// mid-scan, deadline exceeded). Every FID in these sequences is
+  /// unobservable, not absent.
+  std::vector<std::uint64_t> lost_sequences;
+  /// FIDs of individual inodes the resilient scanner quarantined as
+  /// unreadable on otherwise-surviving servers.
+  std::unordered_set<Fid, FidHash> quarantined;
+
+  [[nodiscard]] bool complete() const noexcept {
+    return lost_sequences.empty() && quarantined.empty();
+  }
+
+  /// Does this FID lie in the lost region — i.e. could the object exist
+  /// but be unobservable in this scan?
+  [[nodiscard]] bool fid_lost(const Fid& fid) const {
+    if (fid.is_null()) return false;
+    for (const std::uint64_t seq : lost_sequences) {
+      if (fid.seq == seq) return true;
+    }
+    return quarantined.contains(fid);
+  }
+};
+
+}  // namespace faultyrank

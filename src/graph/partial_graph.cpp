@@ -48,7 +48,10 @@ PartialGraph PartialGraph::deserialize(const std::vector<std::uint8_t>& bytes) {
   }
   PartialGraph g;
   g.server = r.get_string();
-  const auto vertex_count = r.get<std::uint64_t>();
+  // Counts are bounded by the remaining bytes (17 B per vertex record,
+  // 33 B per edge record) so a corrupted length field throws instead of
+  // reserving gigabytes.
+  const auto vertex_count = r.bounded_count(r.get<std::uint64_t>(), 17);
   g.vertices.reserve(vertex_count);
   for (std::uint64_t i = 0; i < vertex_count; ++i) {
     VertexRecord v;
@@ -58,7 +61,7 @@ PartialGraph PartialGraph::deserialize(const std::vector<std::uint8_t>& bytes) {
     v.kind = static_cast<ObjectKind>(r.get<std::uint8_t>());
     g.vertices.push_back(v);
   }
-  const auto edge_count = r.get<std::uint64_t>();
+  const auto edge_count = r.bounded_count(r.get<std::uint64_t>(), 33);
   g.edges.reserve(edge_count);
   for (std::uint64_t i = 0; i < edge_count; ++i) {
     FidEdge e;

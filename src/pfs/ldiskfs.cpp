@@ -177,14 +177,18 @@ LdiskfsImage LdiskfsImage::deserialize(ByteReader& r) {
   const std::string label = r.get_string();
   const auto inodes_per_group = r.get<std::uint32_t>();
   LdiskfsImage image(label, inodes_per_group);
-  const auto slot_count = r.get<std::uint64_t>();
+  // Every count is validated against the bytes remaining before the
+  // resize, so a bit-flipped length field throws instead of driving a
+  // multi-gigabyte allocation (the lower bounds are the fixed-width
+  // portion of one encoded element).
+  const auto slot_count = r.bounded_count(r.get<std::uint64_t>(), 60);
   image.slots_.resize(slot_count);
   for (Inode& inode : image.slots_) {
     inode.ino = r.get<std::uint64_t>();
     inode.type = static_cast<InodeType>(r.get<std::uint8_t>());
     inode.in_use = r.get<std::uint8_t>() != 0;
     inode.lma_fid = get_fid(r);
-    const auto link_count = r.get<std::uint32_t>();
+    const auto link_count = r.bounded_count(r.get<std::uint32_t>(), 20);
     inode.link_ea.resize(link_count);
     for (LinkEaEntry& link : inode.link_ea) {
       link.parent = get_fid(r);
@@ -194,7 +198,7 @@ LdiskfsImage LdiskfsImage::deserialize(ByteReader& r) {
       LovEa lov;
       lov.stripe_size = r.get<std::uint32_t>();
       lov.stripe_count = r.get<std::int32_t>();
-      const auto stripe_count = r.get<std::uint32_t>();
+      const auto stripe_count = r.bounded_count(r.get<std::uint32_t>(), 20);
       lov.stripes.resize(stripe_count);
       for (LovEaEntry& slot : lov.stripes) {
         slot.stripe = get_fid(r);
@@ -208,7 +212,7 @@ LdiskfsImage LdiskfsImage::deserialize(ByteReader& r) {
       filter.stripe_index = r.get<std::uint32_t>();
       inode.filter_fid = filter;
     }
-    const auto dirent_count = r.get<std::uint32_t>();
+    const auto dirent_count = r.bounded_count(r.get<std::uint32_t>(), 28);
     inode.dirents.resize(dirent_count);
     for (DirentEntry& entry : inode.dirents) {
       entry.name = r.get_string();
@@ -220,11 +224,11 @@ LdiskfsImage LdiskfsImage::deserialize(ByteReader& r) {
     inode.uid = r.get<std::uint32_t>();
     inode.gid = r.get<std::uint32_t>();
   }
-  const auto free_count = r.get<std::uint64_t>();
+  const auto free_count = r.bounded_count(r.get<std::uint64_t>(), 8);
   image.free_list_.resize(free_count);
   for (std::uint64_t& ino : image.free_list_) ino = r.get<std::uint64_t>();
   image.in_use_count_ = r.get<std::uint64_t>();
-  const auto oi_count = r.get<std::uint64_t>();
+  const auto oi_count = r.bounded_count(r.get<std::uint64_t>(), 24);
   image.oi_.reserve(oi_count);
   for (std::uint64_t i = 0; i < oi_count; ++i) {
     const Fid fid = get_fid(r);

@@ -57,6 +57,15 @@ class LdiskfsImage {
   void for_each_inode(const std::function<void(const Inode&)>& visit) const;
   void for_each_inode_mut(const std::function<void(Inode&)>& visit);
 
+  /// Raw read of one inode-table slot (0-based, in block-group order);
+  /// nullptr when the slot is free. The resilient scanner iterates
+  /// slots itself so a faulted read can be retried or quarantined
+  /// without abandoning the whole table walk (op_faults hook).
+  [[nodiscard]] const Inode* inode_at(std::uint64_t slot) const noexcept {
+    if (slot >= slots_.size() || !slots_[slot].in_use) return nullptr;
+    return &slots_[slot];
+  }
+
   [[nodiscard]] std::uint64_t inodes_in_use() const noexcept {
     return in_use_count_;
   }

@@ -119,27 +119,52 @@ LustreCluster deserialize_cluster(const std::vector<std::uint8_t>& bytes) {
   }
 }
 
-void save_cluster(const LustreCluster& cluster, const std::string& path) {
-  const std::vector<std::uint8_t> bytes = serialize_cluster(cluster);
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) throw PersistenceError("cannot open for write: " + path);
-  if (std::fwrite(bytes.data(), 1, bytes.size(), f.get()) != bytes.size()) {
-    throw PersistenceError("short write: " + path);
+void atomic_write_file(const std::vector<std::uint8_t>& bytes,
+                       const std::string& path) {
+  // Same directory as the target, so the rename is a metadata-only
+  // operation on every POSIX filesystem (rename across mounts fails).
+  const std::string tmp = path + ".tmp";
+  {
+    FilePtr f(std::fopen(tmp.c_str(), "wb"));
+    if (!f) throw PersistenceError("cannot open for write: " + tmp);
+    if (std::fwrite(bytes.data(), 1, bytes.size(), f.get()) != bytes.size()) {
+      f.reset();
+      std::remove(tmp.c_str());
+      throw PersistenceError("short write: " + tmp);
+    }
+    if (std::fflush(f.get()) != 0) {
+      f.reset();
+      std::remove(tmp.c_str());
+      throw PersistenceError("flush failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw PersistenceError("rename failed: " + tmp + " -> " + path);
   }
 }
 
-LustreCluster load_cluster(const std::string& path) {
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) throw PersistenceError("cannot open for read: " + path);
   std::fseek(f.get(), 0, SEEK_END);
   const long size = std::ftell(f.get());
+  if (size < 0) throw PersistenceError("cannot size: " + path);
   std::fseek(f.get(), 0, SEEK_SET);
   std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
   if (std::fread(bytes.data(), 1, bytes.size(), f.get()) != bytes.size()) {
     throw PersistenceError("short read: " + path);
   }
+  return bytes;
+}
+
+void save_cluster(const LustreCluster& cluster, const std::string& path) {
+  atomic_write_file(serialize_cluster(cluster), path);
+}
+
+LustreCluster load_cluster(const std::string& path) {
   try {
-    return deserialize_cluster(bytes);
+    return deserialize_cluster(read_file_bytes(path));
   } catch (const PersistenceError& error) {
     throw PersistenceError(std::string(error.what()) + " (" + path + ")");
   }

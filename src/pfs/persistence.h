@@ -28,10 +28,24 @@ class PersistenceError : public std::runtime_error {
 [[nodiscard]] LustreCluster deserialize_cluster(
     const std::vector<std::uint8_t>& bytes);
 
-/// Writes the full cluster state to `path`.
+/// Writes the full cluster state to `path`. Crash-safe: the bytes land
+/// in a temporary file in the same directory which is renamed over
+/// `path` only after a complete write, so a crash mid-save leaves the
+/// previous snapshot intact rather than a torn one.
 void save_cluster(const LustreCluster& cluster, const std::string& path);
 
 /// Loads a snapshot written by save_cluster.
 [[nodiscard]] LustreCluster load_cluster(const std::string& path);
+
+/// Atomically replaces `path` with `bytes` (write `path + ".tmp"`,
+/// flush, rename). Shared by snapshot and checkpoint writers — both
+/// must survive a crash mid-save without corrupting the existing file.
+void atomic_write_file(const std::vector<std::uint8_t>& bytes,
+                       const std::string& path);
+
+/// Reads a whole file into memory. Throws PersistenceError when the
+/// file cannot be opened or fully read.
+[[nodiscard]] std::vector<std::uint8_t> read_file_bytes(
+    const std::string& path);
 
 }  // namespace faultyrank

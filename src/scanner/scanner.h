@@ -18,14 +18,40 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "common/sim_clock.h"
 #include "common/thread_pool.h"
+#include "faults/op_faults.h"
 #include "graph/partial_graph.h"
 #include "pfs/cluster.h"
 
 namespace faultyrank {
+
+/// How a per-server scan ended.
+enum class ScanStatus : std::uint8_t {
+  kComplete = 0,  ///< every in-use inode read successfully
+  kDegraded = 1,  ///< finished, but some inodes were quarantined
+  kFailed = 2,    ///< server crashed or deadline hit; graph discarded
+};
+
+[[nodiscard]] const char* to_string(ScanStatus status) noexcept;
+
+/// Bounded retry with exponential backoff for faulted inode reads.
+/// Every knob is a virtual-time quantity charged to the scan's
+/// DiskModel clock; nothing here sleeps real threads.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 4;          ///< reads per inode, total
+  double initial_backoff_seconds = 1e-3;   ///< pause before 1st retry
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 100e-3;     ///< cap per pause
+  double jitter_fraction = 0.1;            ///< +[0, frac)·pause, seeded
+  /// Abort the scan (status kFailed) once its virtual clock passes
+  /// this. Defaults to no deadline.
+  double deadline_seconds = std::numeric_limits<double>::infinity();
+};
 
 struct ScanResult {
   PartialGraph graph;
@@ -34,16 +60,31 @@ struct ScanResult {
   double wall_seconds = 0.0;   ///< measured CPU time
   std::uint64_t inodes_scanned = 0;
   std::uint64_t directories_visited = 0;
+  ScanStatus status = ScanStatus::kComplete;
+  std::uint64_t read_attempts = 0;  ///< physical reads incl. retries
+  std::uint64_t retries = 0;        ///< re-reads after a faulted read
+  std::vector<Fid> quarantined;     ///< unreadable inodes, skipped
+  std::string error;                ///< why, when status == kFailed
 };
 
 /// Scans one MDT image (paper: the MDS holds namespace + layout
-/// metadata on a local SSD).
+/// metadata on a local SSD). With a fault schedule the scan walks the
+/// inode table slot-by-slot, retrying faulted reads under `retry` and
+/// quarantining inodes whose reads never clear; a server crash or a
+/// blown deadline yields status kFailed with an empty graph instead of
+/// an exception. Without a schedule the walk is identical and the extra
+/// machinery is bypassed.
 [[nodiscard]] ScanResult scan_mdt(const MdtServer& mdt,
-                                  const DiskModel& disk = DiskModel::ssd());
+                                  const DiskModel& disk = DiskModel::ssd(),
+                                  ServerFaultSchedule* faults = nullptr,
+                                  const RetryPolicy& retry = {});
 
-/// Scans one OST image (paper: OSTs are HDD-backed).
+/// Scans one OST image (paper: OSTs are HDD-backed). Fault semantics
+/// match scan_mdt.
 [[nodiscard]] ScanResult scan_ost(const OstServer& ost,
-                                  const DiskModel& disk = DiskModel::hdd());
+                                  const DiskModel& disk = DiskModel::hdd(),
+                                  ServerFaultSchedule* faults = nullptr,
+                                  const RetryPolicy& retry = {});
 
 struct ClusterScan {
   std::vector<ScanResult> results;  ///< MDTs first (in index order), then OSTs
@@ -55,10 +96,14 @@ struct ClusterScan {
 };
 
 /// Runs every per-server scanner, on `pool` if provided (one task per
-/// server, mirroring the paper's concurrent scanners).
+/// server, mirroring the paper's concurrent scanners). Never throws on
+/// operational faults: a crashed server is reported as a kFailed slot
+/// in `results`, and the surviving scans are kept.
 [[nodiscard]] ClusterScan scan_cluster(const LustreCluster& cluster,
                                        ThreadPool* pool = nullptr,
                                        const DiskModel& mdt_disk = DiskModel::ssd(),
-                                       const DiskModel& ost_disk = DiskModel::hdd());
+                                       const DiskModel& ost_disk = DiskModel::hdd(),
+                                       OpFaultSchedule* op_faults = nullptr,
+                                       const RetryPolicy& retry = {});
 
 }  // namespace faultyrank

@@ -1,0 +1,173 @@
+// Checkpoint/resume: atomic persistence, hardened deserialization, and
+// the headline guarantee — a run interrupted mid-scan and resumed from
+// its checkpoint produces ranks bit-identical to an uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <filesystem>
+
+#include "aggregator/aggregator.h"
+#include "aggregator/checkpoint.h"
+#include "common/thread_pool.h"
+#include "core/faultyrank.h"
+#include "pfs/persistence.h"
+#include "testing/fixtures.h"
+
+namespace faultyrank {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+ScanCheckpoint make_checkpoint(const LustreCluster& cluster) {
+  ScanCheckpoint ckpt;
+  ckpt.labels = {"mds0", "oss0", "oss1"};
+  ckpt.results.resize(3);
+  ckpt.results[0] = scan_mdt(cluster.mdt());
+  // Slot 1 (oss0) not yet scanned.
+  ckpt.results[2] = scan_ost(cluster.osts()[1]);
+  return ckpt;
+}
+
+TEST(CheckpointTest, SerializationRoundTripsEveryField) {
+  const LustreCluster cluster = testing::make_populated_cluster(80, 41, 2);
+  const ScanCheckpoint ckpt = make_checkpoint(cluster);
+
+  const ScanCheckpoint loaded =
+      deserialize_checkpoint(serialize_checkpoint(ckpt));
+  EXPECT_EQ(loaded.labels, ckpt.labels);
+  ASSERT_EQ(loaded.results.size(), 3u);
+  EXPECT_TRUE(loaded.results[0].has_value());
+  EXPECT_FALSE(loaded.results[1].has_value());
+  ASSERT_TRUE(loaded.results[2].has_value());
+
+  const ScanResult& original = *ckpt.results[0];
+  const ScanResult& restored = *loaded.results[0];
+  EXPECT_EQ(restored.graph.serialize(), original.graph.serialize());
+  EXPECT_EQ(restored.local_to_mds, original.local_to_mds);
+  EXPECT_EQ(restored.sim_seconds, original.sim_seconds);
+  EXPECT_EQ(restored.inodes_scanned, original.inodes_scanned);
+  EXPECT_EQ(restored.directories_visited, original.directories_visited);
+  EXPECT_EQ(restored.status, original.status);
+  EXPECT_EQ(restored.read_attempts, original.read_attempts);
+  EXPECT_EQ(restored.retries, original.retries);
+  EXPECT_EQ(restored.quarantined, original.quarantined);
+  EXPECT_EQ(restored.error, original.error);
+}
+
+TEST(CheckpointTest, SaveIsAtomicAndLeavesNoTempFile) {
+  const LustreCluster cluster = testing::make_populated_cluster(80, 42, 2);
+  const std::string path = temp_path("ckpt_atomic.frcp");
+  std::filesystem::remove(path);
+
+  save_checkpoint(make_checkpoint(cluster), path);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  const ScanCheckpoint loaded = load_checkpoint(path);
+  EXPECT_EQ(loaded.labels.size(), 3u);
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointTest, TruncatedCheckpointsAlwaysThrow) {
+  const LustreCluster cluster = testing::make_populated_cluster(80, 43, 2);
+  const std::vector<std::uint8_t> bytes =
+      serialize_checkpoint(make_checkpoint(cluster));
+  ASSERT_GT(bytes.size(), 32u);
+  for (std::size_t cut = 0; cut < bytes.size(); cut += 7) {
+    const std::vector<std::uint8_t> prefix(
+        bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW((void)deserialize_checkpoint(prefix), PersistenceError)
+        << "prefix of " << cut << " bytes parsed";
+  }
+}
+
+TEST(CheckpointResumeTest, MismatchedClusterIsRejected) {
+  const LustreCluster small = testing::make_populated_cluster(60, 44, 2);
+  const LustreCluster big = testing::make_populated_cluster(60, 44, 4);
+  const std::string path = temp_path("ckpt_mismatch.frcp");
+  std::filesystem::remove(path);
+
+  OpFaultConfig fault_config;
+  OpFaultSchedule faults(fault_config);
+  PipelineConfig config;
+  config.faults = &faults;
+  config.checkpoint_path = path;
+  (void)scan_and_aggregate(small, config);
+
+  EXPECT_THROW((void)scan_and_aggregate(big, config), PersistenceError);
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointResumeTest, ResumedRunReproducesRanksBitForBit) {
+  const LustreCluster cluster = testing::make_populated_cluster(150, 45, 4);
+  const std::string path = temp_path("ckpt_resume.frcp");
+  std::filesystem::remove(path);
+
+  OpFaultConfig fault_config;
+  fault_config.seed = 99;
+  fault_config.transient_eio_rate = 0.1;
+  fault_config.latency_spike_rate = 0.05;
+
+  // Reference: one uninterrupted run.
+  PipelineResult reference;
+  {
+    OpFaultSchedule faults(fault_config);
+    PipelineConfig config;
+    config.faults = &faults;
+    reference = scan_and_aggregate(cluster, config);
+  }
+
+  // Interrupted run: checkpoint after every scan, die after two.
+  {
+    OpFaultSchedule faults(fault_config);
+    PipelineConfig config;
+    config.faults = &faults;
+    config.checkpoint_path = path;
+    config.interrupt_after_servers = 2;
+    EXPECT_THROW((void)scan_and_aggregate(cluster, config),
+                 PipelineInterrupted);
+  }
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  // Resumed run: fresh process state (new schedule), same checkpoint.
+  // Runs on a pool to exercise the streaming prefill path as well.
+  PipelineResult resumed;
+  {
+    OpFaultSchedule faults(fault_config);
+    ThreadPool pool(4);
+    PipelineConfig config;
+    config.pool = &pool;
+    config.faults = &faults;
+    config.checkpoint_path = path;
+    resumed = scan_and_aggregate(cluster, config);
+  }
+  EXPECT_EQ(resumed.servers_resumed, 2u);
+  EXPECT_TRUE(resumed.failed_servers.empty());
+
+  // The resumed graph and virtual-time numbers match the uninterrupted
+  // run exactly...
+  ASSERT_EQ(resumed.agg.graph.vertex_count(),
+            reference.agg.graph.vertex_count());
+  ASSERT_EQ(resumed.agg.graph.edge_count(), reference.agg.graph.edge_count());
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(resumed.scan.sim_seconds),
+            std::bit_cast<std::uint64_t>(reference.scan.sim_seconds));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(resumed.agg.sim_pipeline_seconds),
+            std::bit_cast<std::uint64_t>(reference.agg.sim_pipeline_seconds));
+
+  // ...and so do the ranks, bit for bit.
+  const FaultyRankResult ranks_ref = run_faultyrank(reference.agg.graph);
+  const FaultyRankResult ranks_res = run_faultyrank(resumed.agg.graph);
+  ASSERT_EQ(ranks_res.id_rank.size(), ranks_ref.id_rank.size());
+  for (std::size_t v = 0; v < ranks_ref.id_rank.size(); ++v) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(ranks_res.id_rank[v]),
+              std::bit_cast<std::uint64_t>(ranks_ref.id_rank[v]));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(ranks_res.prop_rank[v]),
+              std::bit_cast<std::uint64_t>(ranks_ref.prop_rank[v]));
+  }
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace faultyrank

@@ -1,0 +1,111 @@
+// Acceptance campaign for degraded checking (ISSUE: one OST crashed
+// mid-scan): the check completes, coverage drops below 100%, findings
+// whose evidence is unobservable are labeled unverifiable with no
+// repair, every verifiable finding involves an injected victim (zero
+// false positives), and faults whose evidence survived are recalled.
+#include <gtest/gtest.h>
+
+#include "checker/checker.h"
+#include "faults/injector.h"
+#include "pfs/server.h"
+#include "testing/fixtures.h"
+
+namespace faultyrank {
+namespace {
+
+/// Could any of this object's evidence live on the lost sequence? True
+/// when the object itself, or any stripe its MDT inode references, is
+/// in the lost FID space.
+bool touches_lost(const LustreCluster& cluster, const Fid& fid,
+                  std::uint64_t lost_seq) {
+  if (fid.seq == lost_seq) return true;
+  const Inode* inode = cluster.stat(fid);
+  if (inode == nullptr) return false;
+  if (inode->lov_ea.has_value()) {
+    for (const auto& slot : inode->lov_ea->stripes) {
+      if (slot.stripe.seq == lost_seq) return true;
+    }
+  }
+  return false;
+}
+
+class DegradedPrecisionTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(DegradedPrecisionTest, CrashedOstDegradesWithoutFalsePositives) {
+  LustreCluster cluster = testing::make_populated_cluster(350, GetParam(), 8);
+  FaultInjector injector(cluster, GetParam() * 17 + 3);
+  const std::vector<GroundTruth> truths = injector.inject_campaign(6);
+
+  const std::uint64_t lost_seq = cluster.osts()[2].fids.seq();
+  OpFaultConfig fault_config;
+  fault_config.crash_after_reads["oss2"] = 5;
+  OpFaultSchedule faults(fault_config);
+
+  CheckerConfig config;
+  config.faults = &faults;
+  // Must not throw: the crashed OST degrades the check, not aborts it.
+  const CheckerResult result = run_checker(cluster, config);
+
+  EXPECT_LT(result.coverage.coverage, 1.0);
+  ASSERT_EQ(result.failed_servers.size(), 1u);
+  EXPECT_EQ(result.failed_servers[0], "oss2");
+  ASSERT_EQ(result.coverage.lost_sequences.size(), 1u);
+  EXPECT_EQ(result.coverage.lost_sequences[0], lost_seq);
+
+  // Unverifiable findings exist (files striped onto the dead OST) and
+  // never carry a repair — re-check when the server is back, don't
+  // "fix" metadata that is merely unobservable.
+  EXPECT_GT(result.report.unverifiable_count(), 0u);
+  for (const Finding& finding : result.report.findings) {
+    if (finding.unverifiable) {
+      EXPECT_EQ(finding.repair.kind, RepairKind::kNone)
+          << "unverifiable finding recommends a repair: " << finding.note;
+    }
+  }
+
+  // Zero false positives among verifiable findings: each must involve
+  // an injected victim as an endpoint (same precision criterion as the
+  // full-coverage campaign).
+  for (const Finding& finding : result.report.findings) {
+    if (finding.unverifiable) continue;
+    bool involves_a_victim = false;
+    for (const GroundTruth& truth : truths) {
+      for (const Fid& fid : {truth.victim, truth.current}) {
+        if (finding.convicted_object == fid || finding.source == fid ||
+            finding.target == fid || finding.repair.target == fid ||
+            finding.repair.value == fid) {
+          involves_a_victim = true;
+        }
+      }
+    }
+    EXPECT_TRUE(involves_a_victim)
+        << "verifiable finding about unrelated object: convicted="
+        << finding.convicted_object.to_string()
+        << " source=" << finding.source.to_string()
+        << " target=" << finding.target.to_string() << " (" << finding.note
+        << ")";
+  }
+
+  // Recall over the surviving evidence: a fault is only exempt when its
+  // objects (or their stripes) lie in the lost FID space.
+  std::size_t checked = 0;
+  for (const GroundTruth& truth : truths) {
+    if (touches_lost(cluster, truth.victim, lost_seq) ||
+        touches_lost(cluster, truth.current, lost_seq)) {
+      continue;
+    }
+    ++checked;
+    EXPECT_TRUE(evaluate_report(result.report, truth).detected)
+        << to_string(truth.scenario);
+  }
+  // The seeds are chosen so the campaign is not vacuous: most faults
+  // land clear of the single crashed OST.
+  EXPECT_GT(checked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DegradedPrecisionTest,
+                         ::testing::Values(951, 952, 953, 954));
+
+}  // namespace
+}  // namespace faultyrank

@@ -1,0 +1,126 @@
+// Resilient scanner semantics: the fault-free resilient walk is
+// bit-identical to the plain walk, retries are charged to virtual time,
+// quarantine skips exactly the unreadable inodes, and crash/deadline
+// collapse a scan to kFailed without leaking half a server.
+#include <gtest/gtest.h>
+
+#include "faults/op_faults.h"
+#include "scanner/scanner.h"
+#include "testing/fixtures.h"
+
+namespace faultyrank {
+namespace {
+
+TEST(ResilientScannerTest, ZeroRateScheduleMatchesPlainScanBitForBit) {
+  const LustreCluster cluster = testing::make_populated_cluster(120, 21, 3);
+  const OpFaultConfig config;  // all rates zero
+  OpFaultSchedule faults(config);
+
+  const ScanResult plain_mdt = scan_mdt(cluster.mdt());
+  const ScanResult fault_mdt =
+      scan_mdt(cluster.mdt(), DiskModel::ssd(), &faults.server("mds0"));
+  EXPECT_EQ(plain_mdt.graph.serialize(), fault_mdt.graph.serialize());
+  EXPECT_EQ(plain_mdt.sim_seconds, fault_mdt.sim_seconds);
+  EXPECT_EQ(plain_mdt.inodes_scanned, fault_mdt.inodes_scanned);
+  EXPECT_EQ(fault_mdt.status, ScanStatus::kComplete);
+  EXPECT_EQ(fault_mdt.retries, 0u);
+
+  const ScanResult plain_ost = scan_ost(cluster.osts()[0]);
+  const ScanResult fault_ost =
+      scan_ost(cluster.osts()[0], DiskModel::hdd(), &faults.server("oss0"));
+  EXPECT_EQ(plain_ost.graph.serialize(), fault_ost.graph.serialize());
+  EXPECT_EQ(plain_ost.sim_seconds, fault_ost.sim_seconds);
+  EXPECT_EQ(fault_ost.status, ScanStatus::kComplete);
+}
+
+TEST(ResilientScannerTest, RetriesRecoverEveryInodeAndChargeSimTime) {
+  const LustreCluster cluster = testing::make_populated_cluster(120, 22, 3);
+  OpFaultConfig config;
+  config.transient_eio_rate = 1.0;  // every inode faults at least once
+  config.max_fault_attempts = 2;
+  OpFaultSchedule faults(config);
+  RetryPolicy retry;
+  retry.max_attempts = 4;  // budget > max_fault_attempts: always recovers
+
+  const ScanResult plain = scan_ost(cluster.osts()[1]);
+  const ScanResult result =
+      scan_ost(cluster.osts()[1], DiskModel::hdd(), &faults.server("oss1"),
+               retry);
+  EXPECT_EQ(result.status, ScanStatus::kComplete);
+  EXPECT_TRUE(result.quarantined.empty());
+  // Same graph as the fault-free scan — the faults were all transient.
+  EXPECT_EQ(plain.graph.serialize(), result.graph.serialize());
+  EXPECT_GT(result.retries, 0u);
+  EXPECT_GT(result.read_attempts, result.inodes_scanned);
+  // Backoff pauses and re-read seeks cost virtual time, never wall time.
+  EXPECT_GT(result.sim_seconds, plain.sim_seconds);
+}
+
+TEST(ResilientScannerTest, ExhaustedRetriesQuarantineButTheWalkContinues) {
+  const LustreCluster cluster = testing::make_populated_cluster(120, 23, 3);
+  OpFaultConfig config;
+  config.transient_eio_rate = 0.3;
+  config.max_fault_attempts = 2;
+  OpFaultSchedule faults(config);
+  RetryPolicy retry;
+  retry.max_attempts = 1;  // no retries: every faulted inode is lost
+
+  const ScanResult plain = scan_ost(cluster.osts()[0]);
+  const ScanResult result = scan_ost(cluster.osts()[0], DiskModel::hdd(),
+                                     &faults.server("oss0"), retry);
+  ASSERT_EQ(result.status, ScanStatus::kDegraded);
+  EXPECT_FALSE(result.quarantined.empty());
+  // Quarantine skips exactly the faulted inodes; the rest are scanned.
+  EXPECT_EQ(result.inodes_scanned + result.quarantined.size(),
+            plain.inodes_scanned);
+  EXPECT_GT(result.inodes_scanned, 0u);
+}
+
+TEST(ResilientScannerTest, CrashYieldsFailedScanWithEmptyLabeledGraph) {
+  const LustreCluster cluster = testing::make_populated_cluster(120, 24, 3);
+  OpFaultConfig config;
+  config.crash_after_reads["oss2"] = 5;
+  OpFaultSchedule faults(config);
+
+  const ScanResult result =
+      scan_ost(cluster.osts()[2], DiskModel::hdd(), &faults.server("oss2"));
+  EXPECT_EQ(result.status, ScanStatus::kFailed);
+  EXPECT_EQ(result.graph.server, "oss2");
+  EXPECT_TRUE(result.graph.vertices.empty());
+  EXPECT_EQ(result.inodes_scanned, 0u);
+  EXPECT_FALSE(result.error.empty());
+  EXPECT_GT(result.sim_seconds, 0.0);
+}
+
+TEST(ResilientScannerTest, DeadlineFailsTheScanInsteadOfRunningForever) {
+  const LustreCluster cluster = testing::make_populated_cluster(120, 25, 3);
+  const OpFaultConfig config;  // no faults needed; the clock alone trips
+  OpFaultSchedule faults(config);
+  RetryPolicy retry;
+  retry.deadline_seconds = 0.0;
+
+  const ScanResult result = scan_mdt(cluster.mdt(), DiskModel::ssd(),
+                                     &faults.server("mds0"), retry);
+  EXPECT_EQ(result.status, ScanStatus::kFailed);
+  EXPECT_EQ(result.error, "scan deadline exceeded");
+  EXPECT_TRUE(result.graph.vertices.empty());
+}
+
+TEST(ResilientScannerTest, ClusterScanReportsFailedSlotWithoutThrowing) {
+  const LustreCluster cluster = testing::make_populated_cluster(120, 26, 3);
+  OpFaultConfig config;
+  config.crash_after_reads["oss1"] = 3;
+  OpFaultSchedule faults(config);
+
+  const ClusterScan scan =
+      scan_cluster(cluster, nullptr, DiskModel::ssd(), DiskModel::hdd(),
+                   &faults);
+  ASSERT_EQ(scan.results.size(), 4u);  // 1 MDT + 3 OSTs
+  EXPECT_EQ(scan.results[0].status, ScanStatus::kComplete);
+  EXPECT_EQ(scan.results[2].status, ScanStatus::kFailed);  // oss1
+  EXPECT_EQ(scan.results[1].status, ScanStatus::kComplete);
+  EXPECT_EQ(scan.results[3].status, ScanStatus::kComplete);
+}
+
+}  // namespace
+}  // namespace faultyrank

@@ -1,5 +1,5 @@
 // fr_lint — repo-specific lint pass over src/ and bench/ (ctest label
-// `static`). Four house rules, each aimed at keeping the concurrency
+// `static`). Five house rules, each aimed at keeping the concurrency
 // tooling honest:
 //
 //   mutex-needs-guards   Every mutex declaration (std::mutex,
@@ -21,6 +21,15 @@
 //                        (src/): iostream drags in static init order
 //                        concerns and unsynchronized stream state;
 //                        library code logs through common/logging.h.
+//   no-unbounded-retry   A condition-driven loop (`while`, `for (;;)`,
+//                        or a `for` whose header itself talks about
+//                        retrying) whose region mentions retry/retries/
+//                        backoff must also reference a bound —
+//                        max_attempts, max_retries, attempt_limit,
+//                        retry_budget, or a deadline. An unbounded
+//                        retry loop spins forever against a server
+//                        that stays down. Counted `for` loops are
+//                        exempt: their trip count is the bound.
 //
 // A line can opt out with a trailing `// fr_lint: allow(rule-id)`.
 // Comments and string/char literals are stripped before matching, so
@@ -178,6 +187,125 @@ bool has_annotation_for(const FileContent& content,
   return false;
 }
 
+[[nodiscard]] std::string to_lower(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool mentions_any(const std::string& lowered,
+                  const std::vector<std::string>& tokens) {
+  for (const auto& token : tokens) {
+    if (lowered.find(token) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// no-unbounded-retry: for each condition-driven loop, delimit the loop
+/// region (header parens, then the braced body or the single statement)
+/// and demand that a region mentioning retry/backoff also mentions a
+/// bound. Counted `for` loops are exempt — their trip count bounds them
+/// — unless the for-header itself talks about retrying (a retry loop
+/// spelled as `for`) or is the infinite `for (;;)`. Loop bodies are
+/// capped at kMaxLoopLines — a "loop" that long has bigger problems
+/// than this lint can name.
+void check_unbounded_retry(const std::string& path, const FileContent& content,
+                           std::vector<Violation>& out) {
+  constexpr std::size_t kMaxLoopLines = 200;
+  static const std::vector<std::string> kRetryTokens = {"retry", "backoff"};
+  static const std::vector<std::string> kBoundTokens = {
+      "max_attempts", "max_retries", "attempt_limit", "retry_budget",
+      "deadline"};
+
+  for (std::size_t n = 0; n < content.scrubbed.size(); ++n) {
+    const std::string& line = content.scrubbed[n];
+    std::size_t keyword_pos = std::string::npos;
+    bool is_for = false;
+    for (const char* keyword : {"while", "for"}) {
+      const std::size_t len = std::string(keyword).size();
+      std::size_t pos = line.find(keyword);
+      while (pos != std::string::npos) {
+        const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+        const std::size_t end = pos + len;
+        const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+        if (left_ok && right_ok) {
+          if (pos < keyword_pos) {
+            keyword_pos = pos;
+            is_for = std::string(keyword) == "for";
+          }
+          break;
+        }
+        pos = line.find(keyword, pos + 1);
+      }
+    }
+    if (keyword_pos == std::string::npos) continue;
+    if (line_allows(content.raw[n], "no-unbounded-retry")) continue;
+
+    // Walk characters from the keyword: first the parenthesized header,
+    // then either a braced body (to matching close) or a single
+    // statement (to the first ';').
+    int paren_depth = 0;
+    bool header_done = false;
+    int brace_depth = 0;
+    bool in_braces = false;
+    std::string header;
+    std::string region;
+    std::size_t end_line = n;
+    for (std::size_t m = n; m < content.scrubbed.size() &&
+                            m < n + kMaxLoopLines && end_line == n;
+         ++m) {
+      const std::string& body = content.scrubbed[m];
+      const std::size_t start = m == n ? keyword_pos : 0;
+      region += body.substr(start) + "\n";
+      bool done = false;
+      for (std::size_t i = start; i < body.size(); ++i) {
+        const char c = body[i];
+        if (c == '(') ++paren_depth;
+        if (c == ')') {
+          --paren_depth;
+          if (paren_depth == 0) header_done = true;
+        }
+        if (!header_done) {
+          if (paren_depth > 0 && !(c == '(' && paren_depth == 1)) header += c;
+          continue;
+        }
+        if (c == '{') {
+          ++brace_depth;
+          in_braces = true;
+        }
+        if (c == '}') {
+          --brace_depth;
+          if (in_braces && brace_depth == 0) done = true;
+        }
+        if (c == ';' && !in_braces && paren_depth == 0) done = true;
+        if (done) break;
+      }
+      if (done) end_line = m + 1;  // exits the scan loop
+    }
+
+    const std::string lowered_header = to_lower(header);
+    if (is_for) {
+      // A counted for is bounded by construction; only the infinite
+      // `for (;;)` and for-headers that themselves retry are suspect.
+      std::string squeezed;
+      for (char c : lowered_header) {
+        if (!std::isspace(static_cast<unsigned char>(c))) squeezed += c;
+      }
+      const bool infinite = squeezed == ";;";
+      if (!infinite && !mentions_any(lowered_header, kRetryTokens)) continue;
+    }
+
+    const std::string lowered = to_lower(region);
+    if (!mentions_any(lowered, kRetryTokens)) continue;
+    if (!mentions_any(lowered, kBoundTokens)) {
+      out.push_back({path, n + 1, "no-unbounded-retry",
+                     "retry/backoff loop without a visible bound — "
+                     "reference max_attempts/max_retries/attempt_limit/"
+                     "retry_budget or a deadline"});
+    }
+  }
+}
+
 bool path_ends_with(const std::string& path, const std::string& suffix) {
   return path.size() >= suffix.size() &&
          path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
@@ -284,6 +412,9 @@ std::vector<Violation> lint_file(const std::string& path,
       }
     }
   }
+
+  // no-unbounded-retry works on loop regions, not single lines.
+  check_unbounded_retry(path, content, out);
   return out;
 }
 

@@ -1,0 +1,15 @@
+// EXPECT: no-unbounded-retry
+//
+// A while(true) retry loop with exponential backoff and no visible
+// bound: if the server never comes back, this spins forever.
+bool try_read();
+void sleep_ms(int);
+
+void fetch_with_retries() {
+  int backoff_ms = 1;
+  while (true) {
+    if (try_read()) break;
+    sleep_ms(backoff_ms);
+    backoff_ms *= 2;
+  }
+}

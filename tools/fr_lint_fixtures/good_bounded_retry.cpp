@@ -1,0 +1,37 @@
+// EXPECT: clean
+//
+// Retry loops with a visible bound: a counted attempt loop that names
+// max_attempts, and a while loop cut off by a deadline.
+bool try_read();
+void sleep_ms(int);
+double now_seconds();
+
+bool fetch_bounded(int max_attempts) {
+  int backoff_ms = 1;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (try_read()) return true;
+    sleep_ms(backoff_ms);
+    backoff_ms *= 2;
+  }
+  return false;
+}
+
+bool fetch_while_bounded(int max_attempts) {
+  int attempt = 0;
+  int backoff_ms = 1;
+  while (attempt < max_attempts) {
+    if (try_read()) return true;
+    sleep_ms(backoff_ms);
+    backoff_ms *= 2;
+    ++attempt;
+  }
+  return false;
+}
+
+bool fetch_until_deadline(double deadline_seconds) {
+  while (now_seconds() < deadline_seconds) {
+    if (try_read()) return true;
+    sleep_ms(1);  // fixed backoff, bounded by the deadline above
+  }
+  return false;
+}
