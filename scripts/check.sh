@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # One-command correctness gate (DESIGN.md §8): default build + full
 # ctest, the TSan concurrency suite, the ASan+UBSan full suite, the
-# fr_lint static pass, and the operational-fault robustness gate
+# fr_lint/fr_analyze static passes + runtime lock-order detection
+# (DESIGN.md §11), and the operational-fault robustness gate
 # (DESIGN.md §10). CI and pre-merge both run exactly this.
 #
 # Usage: scripts/check.sh [jobs]
@@ -34,9 +35,24 @@ run cmake --preset ubsan
 run cmake --build --preset ubsan -j "${JOBS}"
 run ctest --preset ubsan -j "${JOBS}"
 
-# 4. Explicit fr_lint invocation for a readable tail even though the
-#    default suite already gates on it.
+# 4. Static analysis: fr_lint house rules, then the fr_analyze
+#    cross-file passes (lock-order cycles, sim-time discipline,
+#    determinism of parallel reductions) — self-test first so the
+#    fixture proofs gate before the tree run, then the annotation
+#    coverage baseline. Explicit invocations for a readable tail even
+#    though the default suite already gates on all of it.
 run ./build/tools/fr_lint src bench
+run ./build/tools/fr_analyze --self-test tools/fr_analyze_fixtures
+run ./build/tools/fr_analyze src bench tools
+run ./build/tools/fr_analyze --coverage \
+  --baseline tools/analysis/coverage_baseline.txt src
+
+# 4b. Runtime lock-order detection: the instrumented-wrapper build runs
+#     the concurrency suite with per-thread held stacks + the global
+#     acquired-after edge set live; any inversion aborts the test.
+run cmake --preset deadlock
+run cmake --build --preset deadlock -j "${JOBS}"
+run ctest --preset deadlock -j "${JOBS}"
 
 # 5. Robustness gate: the `robustness`-labelled suite (operational
 #    faults, degraded coverage, checkpoint/resume determinism) plus the

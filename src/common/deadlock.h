@@ -1,0 +1,75 @@
+// Runtime lock-order cycle detector — the dynamic half of the
+// fr_analyze lock-order pass (DESIGN.md §11).
+//
+// The registry maintains, per thread, the stack of locks currently
+// held, and globally the set of acquired-after edges ever observed
+// (lock B acquired while lock A was held → edge A→B). Each NEW edge
+// triggers a DFS over the edge graph; a path back to the acquiring
+// edge's source means two code paths order the same locks differently
+// — a potential deadlock even if this run never interleaved them.
+// Because edges persist across executions, the detector catches
+// inversions from non-overlapping runs, which is exactly what a stress
+// test cannot do by timing alone.
+//
+// The Mutex/SharedMutex wrappers in common/mutex.h feed the registry
+// when built with -DFAULTYRANK_DEADLOCK_DETECT=ON (the `deadlock`
+// preset). The registry itself is compiled unconditionally so tests
+// can drive it directly in any build; without the define, the wrappers
+// simply never call it and the per-lock overhead is zero.
+//
+// On detection the report hook runs if set (tests install one);
+// otherwise the report is printed to stderr and the process aborts —
+// a latent deadlock is not a recoverable condition.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace faultyrank::deadlock {
+
+/// Everything a human needs to fix the inversion: the formatted
+/// report, the lock addresses on the cycle in order, and their names
+/// (empty string when the lock was never named).
+struct CycleReport {
+  std::string text;
+  std::vector<const void*> cycle;
+  std::vector<std::string> cycle_names;
+};
+
+/// Installs the handler invoked on cycle detection (pass nullptr to
+/// restore the default print-and-abort behavior). Returns the previous
+/// hook. Tests install a hook to assert on the report instead of
+/// dying.
+std::function<void(const CycleReport&)> set_report_hook(
+    std::function<void(const CycleReport&)> hook);
+
+/// Records that the calling thread is about to acquire `mutex`. Called
+/// BEFORE the underlying lock so an inversion reports even when the
+/// acquisition would block forever. `name` labels the lock in reports
+/// on first sight.
+void on_lock(const void* mutex, const char* name = nullptr);
+
+/// Records a successful try_lock (ordering is only established by
+/// acquisitions that happened, so failures are not reported).
+void on_try_lock(const void* mutex, const char* name = nullptr);
+
+/// Records that the calling thread released `mutex` (the most recent
+/// acquisition of it, if held multiple times through re-entrant
+/// wrappers).
+void on_unlock(const void* mutex);
+
+/// Number of distinct acquired-after edges observed so far. A steady
+/// count across iterations proves the hot path stopped allocating.
+std::size_t edge_count();
+
+/// Depth of the calling thread's held-lock stack.
+std::size_t held_count();
+
+/// Clears the global edge set, lock names, and the calling thread's
+/// held stack. Test isolation only — never call with locks held on
+/// other threads.
+void reset();
+
+}  // namespace faultyrank::deadlock

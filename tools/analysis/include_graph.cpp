@@ -1,0 +1,84 @@
+#include "analysis/include_graph.h"
+
+#include <functional>
+
+namespace fr_analysis {
+
+namespace {
+
+/// True when `path` ends with `suffix` at a path-component boundary
+/// ("src/common/mutex.h" matches "common/mutex.h" but not "on/mutex.h").
+bool suffix_component_match(const std::string& path, const std::string& suffix) {
+  if (path.size() < suffix.size()) return false;
+  if (path.compare(path.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  return path.size() == suffix.size() ||
+         path[path.size() - suffix.size() - 1] == '/';
+}
+
+}  // namespace
+
+IncludeGraph IncludeGraph::build(const std::vector<SourceFile>& files) {
+  IncludeGraph graph;
+  for (const SourceFile& file : files) {
+    std::vector<std::string>& direct = graph.direct_[file.path];
+    const std::vector<Token>& toks = file.tokens;
+    for (std::size_t k = 0; k + 2 < toks.size(); ++k) {
+      if (toks[k].kind == TokKind::kPunct && toks[k].text == "#" &&
+          toks[k + 1].kind == TokKind::kIdent &&
+          toks[k + 1].text == "include" &&
+          toks[k + 2].kind == TokKind::kString) {
+        const std::string& spec = toks[k + 2].text;
+        // Resolve within the corpus by suffix; ambiguity (two files
+        // matching the same spec) picks the shortest path, which in
+        // this repo layout is the unique src/-rooted one.
+        const SourceFile* best = nullptr;
+        for (const SourceFile& candidate : files) {
+          if (&candidate == &file) continue;
+          if (suffix_component_match(candidate.path, spec)) {
+            if (best == nullptr || candidate.path.size() < best->path.size()) {
+              best = &candidate;
+            }
+          }
+        }
+        if (best != nullptr) {
+          direct.push_back(best->path);
+          ++graph.edges_;
+        }
+      }
+    }
+  }
+
+  // Transitive closure per file (corpora are a few hundred files; a
+  // simple DFS per root is fine and keeps the code obvious).
+  for (const SourceFile& file : files) {
+    std::set<std::string>& visible = graph.visible_[file.path];
+    std::vector<std::string> work{file.path};
+    while (!work.empty()) {
+      const std::string current = work.back();
+      work.pop_back();
+      if (!visible.insert(current).second) continue;
+      const auto it = graph.direct_.find(current);
+      if (it == graph.direct_.end()) continue;
+      for (const std::string& next : it->second) work.push_back(next);
+    }
+  }
+  return graph;
+}
+
+const std::vector<std::string>& IncludeGraph::includes_of(
+    const std::string& path) const {
+  static const std::vector<std::string> kEmpty;
+  const auto it = direct_.find(path);
+  return it == direct_.end() ? kEmpty : it->second;
+}
+
+const std::set<std::string>& IncludeGraph::visible_from(
+    const std::string& path) const {
+  static const std::set<std::string> kEmpty;
+  const auto it = visible_.find(path);
+  return it == visible_.end() ? kEmpty : it->second;
+}
+
+}  // namespace fr_analysis

@@ -1,0 +1,47 @@
+// Include-graph walker (DESIGN.md §11).
+//
+// Builds the quoted-include graph over the analyzed corpus and exposes
+// per-file *visibility*: the transitive closure of repo files a
+// translation unit sees. Cross-file passes use it to resolve symbols
+// the way the compiler would — a `mutex_` acquired in thread_pool.cpp
+// resolves against the declarations of thread_pool.h, not against
+// every `mutex_` in the repo — which is exactly what single-file lints
+// structurally cannot do. System includes (<...>) are outside the
+// corpus and ignored.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/token.h"
+
+namespace fr_analysis {
+
+class IncludeGraph {
+ public:
+  /// Parses `#include "..."` directives from every file's token stream
+  /// and resolves them against the corpus by path suffix (the repo
+  /// convention is module-relative includes like "common/mutex.h").
+  [[nodiscard]] static IncludeGraph build(const std::vector<SourceFile>& files);
+
+  /// Direct quoted includes of `path` that resolved inside the corpus.
+  [[nodiscard]] const std::vector<std::string>& includes_of(
+      const std::string& path) const;
+
+  /// Transitive closure of includes_of, *including `path` itself* —
+  /// the set of corpus files whose declarations this TU can see.
+  [[nodiscard]] const std::set<std::string>& visible_from(
+      const std::string& path) const;
+
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_; }
+
+ private:
+  std::map<std::string, std::vector<std::string>> direct_;
+  std::map<std::string, std::set<std::string>> visible_;
+  std::size_t edges_ = 0;
+};
+
+}  // namespace fr_analysis

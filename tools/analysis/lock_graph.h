@@ -1,0 +1,64 @@
+// Static lock-order graph (DESIGN.md §11).
+//
+// Extracts intra-scope acquisition sequences from MutexLock/SharedLock
+// nesting across all translation units: while lock A is held (an
+// enclosing MutexLock whose scope is still open), constructing a
+// MutexLock over B records the acquired-after edge A→B with the
+// file:line of both acquisitions. The edges from every TU land in one
+// global graph; any directed cycle is a potential deadlock and is
+// reported with the full witness path. `lock.unlock()` / `lock.lock()`
+// on a named MutexLock variable (the drop-the-lock-run-the-task
+// pattern in the thread pool) updates the held set, so the stream-of-
+// tokens view tracks what the scopes actually hold.
+//
+// Lock identity is instance-blind (every instance of a class shares
+// its member mutex's identity) — the standard conservative
+// approximation; see SymbolTable::resolve for the lookup order.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/include_graph.h"
+#include "analysis/symbols.h"
+#include "analysis/token.h"
+
+namespace fr_analysis {
+
+/// One acquired-after edge: `to` was acquired while `from` was held.
+struct LockEdge {
+  std::string from;  ///< resolved lock identity
+  std::string to;
+  std::string file;           ///< TU the nesting was seen in
+  std::size_t from_line = 0;  ///< acquisition line of `from`
+  std::size_t to_line = 0;    ///< acquisition line of `to`
+};
+
+/// A cycle through the global lock graph: edges[i].to == edges[i+1].from
+/// and edges.back().to == edges.front().from.
+struct LockCycle {
+  std::vector<LockEdge> edges;
+};
+
+class LockGraph {
+ public:
+  [[nodiscard]] static LockGraph build(const std::vector<SourceFile>& files,
+                                       const SymbolTable& symbols,
+                                       const IncludeGraph& includes);
+
+  [[nodiscard]] const std::vector<LockEdge>& edges() const noexcept {
+    return edges_;
+  }
+
+  /// Elementary cycles, deduplicated by canonical rotation, in a
+  /// deterministic order.
+  [[nodiscard]] std::vector<LockCycle> find_cycles() const;
+
+ private:
+  std::vector<LockEdge> edges_;
+  std::map<std::string, std::vector<std::size_t>> adjacency_;  // lock → edge idx
+};
+
+}  // namespace fr_analysis

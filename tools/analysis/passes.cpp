@@ -1,0 +1,296 @@
+#include "analysis/passes.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace fr_analysis {
+
+namespace {
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+bool path_contains_dir(const std::string& path, const std::string& dir) {
+  return path.find("/" + dir + "/") != std::string::npos ||
+         path.rfind(dir + "/", 0) == 0;
+}
+
+bool path_ends_with(const std::string& path, const std::string& suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Trailing `// fr_analyze: allow(rule)` marker on the raw line.
+bool line_allows(const SourceFile& file, std::size_t line,
+                 const std::string& rule) {
+  if (line == 0 || line > file.raw.size()) return false;
+  const std::string marker = "fr_analyze: allow(" + rule + ")";
+  return file.raw[line - 1].find(marker) != std::string::npos;
+}
+
+const SourceFile* find_file(const std::vector<SourceFile>& files,
+                            const std::string& path) {
+  for (const SourceFile& file : files) {
+    if (file.path == path) return &file;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------
+// sim-time
+// ---------------------------------------------------------------------
+
+const std::set<std::string>& real_time_idents() {
+  static const std::set<std::string> kIdents = {
+      "sleep_for",     "sleep_until",  "system_clock",
+      "steady_clock",  "high_resolution_clock",
+      "nanosleep",     "usleep",       "gettimeofday",
+      "clock_gettime",
+  };
+  return kIdents;
+}
+
+}  // namespace
+
+std::vector<Violation> run_sim_time_pass(const std::vector<SourceFile>& files,
+                                         const PassOptions& options) {
+  std::vector<Violation> out;
+  for (const SourceFile& file : files) {
+    if (!options.treat_all_as_src && !path_contains_dir(file.path, "src")) {
+      continue;
+    }
+    // The two blessed homes of real time: the virtual-clock models
+    // themselves, and the WallTimer stopwatch the bench harness reports
+    // measured CPU seconds with.
+    if (path_ends_with(file.path, "common/sim_clock.h") ||
+        path_ends_with(file.path, "common/sim_clock.cpp") ||
+        path_ends_with(file.path, "common/timer.h")) {
+      continue;
+    }
+    const std::vector<Token>& toks = file.tokens;
+    for (std::size_t k = 0; k < toks.size(); ++k) {
+      if (toks[k].kind != TokKind::kIdent) continue;
+      bool banned = real_time_idents().count(toks[k].text) > 0;
+      if (!banned && toks[k].text == "time" && k + 1 < toks.size() &&
+          is_punct(toks[k + 1], "(")) {
+        // Raw time(...): a call, not a member (`x.time(...)`) and, when
+        // qualified, only the std:: spelling.
+        const bool member = k >= 1 && (is_punct(toks[k - 1], ".") ||
+                                       is_punct(toks[k - 1], "->"));
+        bool qualified_ok = true;
+        if (k >= 2 && is_punct(toks[k - 1], "::")) {
+          qualified_ok = toks[k - 2].kind == TokKind::kIdent &&
+                         toks[k - 2].text == "std";
+        }
+        banned = !member && qualified_ok;
+      }
+      if (banned && !line_allows(file, toks[k].line, "sim-time")) {
+        out.push_back(
+            {file.path, toks[k].line, "sim-time",
+             "real-time source '" + toks[k].text +
+                 "' in pipeline code — charge I/O to SimClock "
+                 "(common/sim_clock.h) so runs replay identically; "
+                 "wall-clock measurement belongs in common/timer.h"});
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// determinism-reduction
+// ---------------------------------------------------------------------
+
+namespace {
+
+const std::set<std::string>& type_idents() {
+  static const std::set<std::string> kTypes = {
+      "double", "float",    "auto",     "int",      "long",    "unsigned",
+      "short",  "size_t",   "uint8_t",  "uint16_t", "uint32_t", "uint64_t",
+      "int8_t", "int16_t",  "int32_t",  "int64_t",  "Gid",     "ptrdiff_t",
+  };
+  return kTypes;
+}
+
+bool is_type_ident(const Token& t) {
+  return t.kind == TokKind::kIdent && type_idents().count(t.text) > 0;
+}
+
+/// True when tokens [begin, at) contain a local declaration of `name`:
+/// a `<type> name` pair (covers lambda parameters and body locals).
+bool declared_in_region(const std::vector<Token>& toks, std::size_t begin,
+                        std::size_t at, const std::string& name) {
+  for (std::size_t j = begin + 1; j < at; ++j) {
+    if (toks[j].kind != TokKind::kIdent || toks[j].text != name) continue;
+    if (is_type_ident(toks[j - 1])) return true;
+    if ((is_punct(toks[j - 1], "&") || is_punct(toks[j - 1], "*")) && j >= 2 &&
+        is_type_ident(toks[j - 2])) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// True when the file declares `double name` / `float name` anywhere —
+/// the only case the determinism rule fires on (integer counters are a
+/// race question for TSan, not a float-ordering question).
+bool floating_in_file(const std::vector<Token>& toks, const std::string& name) {
+  for (std::size_t j = 1; j < toks.size(); ++j) {
+    if (toks[j].kind == TokKind::kIdent && toks[j].text == name &&
+        toks[j - 1].kind == TokKind::kIdent &&
+        (toks[j - 1].text == "double" || toks[j - 1].text == "float")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Finds the token index just past the matching closer for the opener
+/// at `open` (which must be "(", "[", or "{"). Returns toks.size() when
+/// unbalanced.
+std::size_t skip_balanced(const std::vector<Token>& toks, std::size_t open,
+                          const char* open_text, const char* close_text) {
+  int depth = 0;
+  for (std::size_t m = open; m < toks.size(); ++m) {
+    if (is_punct(toks[m], open_text)) ++depth;
+    if (is_punct(toks[m], close_text)) {
+      --depth;
+      if (depth == 0) return m + 1;
+    }
+  }
+  return toks.size();
+}
+
+}  // namespace
+
+std::vector<Violation> run_determinism_pass(
+    const std::vector<SourceFile>& files) {
+  std::vector<Violation> out;
+  for (const SourceFile& file : files) {
+    const std::vector<Token>& toks = file.tokens;
+    for (std::size_t k = 0; k + 1 < toks.size(); ++k) {
+      if (toks[k].kind != TokKind::kIdent ||
+          (toks[k].text != "parallel_for" &&
+           toks[k].text != "parallel_for_ranges") ||
+          !is_punct(toks[k + 1], "(")) {
+        continue;
+      }
+      const std::size_t call_end = skip_balanced(toks, k + 1, "(", ")");
+      // Inline lambda arguments: a '[' in argument position (after '('
+      // or ','). Lambdas bound to a named variable earlier are already
+      // covered when their own call site is scanned — and the blessed
+      // helpers keep their accumulators local anyway.
+      for (std::size_t m = k + 2; m < call_end; ++m) {
+        if (!is_punct(toks[m], "[") ||
+            !(is_punct(toks[m - 1], "(") || is_punct(toks[m - 1], ","))) {
+          continue;
+        }
+        const std::size_t intro_end = skip_balanced(toks, m, "[", "]");
+        // Optional parameter list, then the body braces.
+        std::size_t body_begin = intro_end;
+        if (body_begin < toks.size() && is_punct(toks[body_begin], "(")) {
+          body_begin = skip_balanced(toks, body_begin, "(", ")");
+        }
+        if (body_begin >= toks.size() || !is_punct(toks[body_begin], "{")) {
+          continue;
+        }
+        const std::size_t body_end = skip_balanced(toks, body_begin, "{", "}");
+
+        for (std::size_t p = m; p < body_end && p < toks.size(); ++p) {
+          // std::accumulate inside a parallel lambda is always wrong.
+          if (toks[p].kind == TokKind::kIdent &&
+              toks[p].text == "accumulate" &&
+              !line_allows(file, toks[p].line, "determinism-reduction")) {
+            out.push_back({file.path, toks[p].line, "determinism-reduction",
+                           "std::accumulate inside a parallel_for lambda — "
+                           "use the fixed-block reduction helpers "
+                           "(core/faultyrank.cpp reduce_block_sum/_max) to "
+                           "keep sums bit-identical across pool sizes"});
+            continue;
+          }
+          if (p + 1 >= toks.size() ||
+              !(is_punct(toks[p + 1], "+=") || is_punct(toks[p + 1], "-="))) {
+            continue;
+          }
+          if (toks[p].kind != TokKind::kIdent) continue;  // arr[i] += ...
+          if (p >= 1 &&
+              (is_punct(toks[p - 1], ".") || is_punct(toks[p - 1], "->"))) {
+            continue;  // member accumulation: object identity unknown
+          }
+          const std::string& name = toks[p].text;
+          if (declared_in_region(toks, m, p, name)) continue;  // local acc
+          if (!floating_in_file(toks, name)) continue;
+          if (line_allows(file, toks[p].line, "determinism-reduction")) {
+            continue;
+          }
+          out.push_back(
+              {file.path, toks[p].line, "determinism-reduction",
+               "floating-point accumulation into captured '" + name +
+                   "' inside a parallel_for lambda — scheduling decides "
+                   "the addition order; route the reduction through the "
+                   "fixed-block helpers or write disjoint indexed slots"});
+        }
+        m = body_end > m ? body_end - 1 : m;
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// lock-order-cycle
+// ---------------------------------------------------------------------
+
+std::vector<Violation> run_lock_order_pass(const LockGraph& graph,
+                                           const std::vector<SourceFile>& files) {
+  std::vector<Violation> out;
+  for (const LockCycle& cycle : graph.find_cycles()) {
+    // Primary anchor: lexicographically smallest (file, line) among the
+    // witness edges, so attribution is deterministic and the fixture
+    // self-test can state which file owns the finding.
+    const LockEdge* primary = &cycle.edges.front();
+    for (const LockEdge& edge : cycle.edges) {
+      if (edge.file < primary->file ||
+          (edge.file == primary->file && edge.from_line < primary->from_line)) {
+        primary = &edge;
+      }
+    }
+    std::string witness;
+    for (const LockEdge& edge : cycle.edges) {
+      if (!witness.empty()) witness += "; ";
+      witness += edge.from + " -> " + edge.to + " [" + edge.file + ":" +
+                 std::to_string(edge.from_line) + " holds the former, :" +
+                 std::to_string(edge.to_line) + " acquires the latter]";
+    }
+    const SourceFile* file = find_file(files, primary->file);
+    if (file != nullptr &&
+        line_allows(*file, primary->from_line, "lock-order-cycle")) {
+      continue;
+    }
+    out.push_back({primary->file, primary->from_line, "lock-order-cycle",
+                   "lock acquisition cycle (potential deadlock): " + witness});
+  }
+  return out;
+}
+
+std::vector<Violation> run_all_passes(const std::vector<SourceFile>& files,
+                                      const SymbolTable& /*symbols*/,
+                                      const IncludeGraph& /*includes*/,
+                                      const LockGraph& lock_graph,
+                                      const PassOptions& options) {
+  std::vector<Violation> out = run_lock_order_pass(lock_graph, files);
+  std::vector<Violation> sim = run_sim_time_pass(files, options);
+  out.insert(out.end(), sim.begin(), sim.end());
+  std::vector<Violation> det = run_determinism_pass(files);
+  out.insert(out.end(), det.begin(), det.end());
+  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+}  // namespace fr_analysis

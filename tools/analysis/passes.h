@@ -1,0 +1,64 @@
+// The three cross-file fr_analyze passes (DESIGN.md §11):
+//
+//   lock-order-cycle        Any directed cycle in the global MutexLock
+//                           acquired-after graph, reported with the
+//                           full witness path (file:line per edge).
+//   sim-time                Real-time calls (sleep_*, system_clock /
+//                           steady_clock::now, raw time()) in pipeline
+//                           code (src/) outside the two blessed homes:
+//                           common/sim_clock.* (virtual time) and
+//                           common/timer.h (the bench stopwatch). Real
+//                           time in the pipeline silently breaks the
+//                           reproducible virtual-clock accounting.
+//   determinism-reduction   Floating-point `+=`/`-=` into a captured
+//                           variable (or std::accumulate) inside a
+//                           parallel_for / parallel_for_ranges lambda:
+//                           cross-thread accumulation orders float
+//                           additions by scheduling, breaking the
+//                           bit-identical-across-pool-sizes guarantee.
+//                           Reductions go through the fixed-block
+//                           helpers (reduce_block_sum/_max) or write
+//                           disjoint indexed slots.
+//
+// A line can opt out with a trailing `// fr_analyze: allow(rule-id)`.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "analysis/include_graph.h"
+#include "analysis/lock_graph.h"
+#include "analysis/symbols.h"
+#include "analysis/token.h"
+#include "analysis/violation.h"
+
+namespace fr_analysis {
+
+/// Every rule id fr_analyze can emit (the fixture self-test demands
+/// each appears in exactly one EXPECT header).
+inline constexpr std::array<const char*, 3> kAnalyzeRuleIds = {
+    "lock-order-cycle", "sim-time", "determinism-reduction"};
+
+struct PassOptions {
+  /// Self-test mode: treat every file as pipeline code (src/), so the
+  /// sim-time pass is live on fixtures regardless of their path.
+  bool treat_all_as_src = false;
+};
+
+[[nodiscard]] std::vector<Violation> run_lock_order_pass(
+    const LockGraph& graph, const std::vector<SourceFile>& files);
+
+[[nodiscard]] std::vector<Violation> run_sim_time_pass(
+    const std::vector<SourceFile>& files, const PassOptions& options);
+
+[[nodiscard]] std::vector<Violation> run_determinism_pass(
+    const std::vector<SourceFile>& files);
+
+/// All three passes over an analyzed corpus, sorted by (file, line).
+[[nodiscard]] std::vector<Violation> run_all_passes(
+    const std::vector<SourceFile>& files, const SymbolTable& symbols,
+    const IncludeGraph& includes, const LockGraph& lock_graph,
+    const PassOptions& options);
+
+}  // namespace fr_analysis

@@ -1,0 +1,149 @@
+#include "analysis/scopes.h"
+
+#include <algorithm>
+
+namespace fr_analysis {
+
+namespace {
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+/// Extracts the class qualifier of an out-of-line member definition
+/// from a statement head, e.g. `void ThreadPool::worker_loop ( ... )`
+/// → "ThreadPool" and `Csr Csr::A::b(...)` → "Csr::A". Returns "" when
+/// the head is not shaped like a qualified function definition.
+std::string member_definition_context(const std::vector<Token>& head) {
+  // Find the first top-level '(' — the parameter list. Angle brackets
+  // are not tracked (template params rarely contain parens; when they
+  // do the head just fails to classify, which is safe).
+  std::size_t paren = head.size();
+  for (std::size_t k = 0; k < head.size(); ++k) {
+    if (is_punct(head[k], "(")) {
+      paren = k;
+      break;
+    }
+  }
+  if (paren == head.size() || paren == 0) return "";
+  // Walk back over the function name: ident or ~ident (destructor) or
+  // an operator spelling; then collect the `ident ::` qualifier chain.
+  std::size_t k = paren - 1;
+  if (head[k].kind != TokKind::kIdent) return "";
+  if (k == 0) return "";
+  if (is_punct(head[k - 1], "~")) {
+    if (k < 2) return "";
+    k -= 2;
+  } else {
+    k -= 1;
+  }
+  std::string context;
+  while (k >= 1 && is_punct(head[k], "::") &&
+         head[k - 1].kind == TokKind::kIdent) {
+    context = context.empty() ? head[k - 1].text
+                              : head[k - 1].text + "::" + context;
+    if (k < 2) break;
+    k -= 2;
+  }
+  return context;
+}
+
+}  // namespace
+
+void ScopeTracker::open_scope() {
+  Scope scope;
+  // Classify from the statement head. `namespace`/`class`/`struct`
+  // whose body this brace opens; everything else is a block.
+  for (std::size_t k = 0; k < head_.size(); ++k) {
+    if (is_ident(head_[k], "namespace")) {
+      scope.kind = ScopeKind::kNamespace;
+      // `namespace a::b {` nests textually; record the joined name.
+      std::string name;
+      for (std::size_t m = k + 1; m < head_.size(); ++m) {
+        if (head_[m].kind == TokKind::kIdent) {
+          name += (name.empty() ? "" : "::") + head_[m].text;
+        } else if (!is_punct(head_[m], "::")) {
+          break;
+        }
+      }
+      scope.name = name;
+      stack_.push_back(std::move(scope));
+      return;
+    }
+    if ((is_ident(head_[k], "class") || is_ident(head_[k], "struct")) &&
+        !std::any_of(head_.begin(), head_.begin() + static_cast<long>(k),
+                     [](const Token& t) { return is_ident(t, "enum"); })) {
+      // `class X final : public Y {` — the name is the first identifier
+      // after the keyword (skipping attributes is not worth the code;
+      // `[[...]]` tokens are punctuation and get skipped naturally).
+      for (std::size_t m = k + 1; m < head_.size(); ++m) {
+        if (head_[m].kind == TokKind::kIdent && head_[m].text != "final" &&
+            head_[m].text != "alignas") {
+          scope.kind = ScopeKind::kClass;
+          scope.name = head_[m].text;
+          break;
+        }
+        if (is_punct(head_[m], ":") || is_punct(head_[m], "{")) break;
+      }
+      if (scope.kind == ScopeKind::kClass) {
+        stack_.push_back(std::move(scope));
+        return;
+      }
+      break;  // `class {` anonymous / unparseable: fall through to block
+    }
+  }
+  scope.kind = ScopeKind::kBlock;
+  scope.class_context = member_definition_context(head_);
+  stack_.push_back(std::move(scope));
+}
+
+void ScopeTracker::advance(const Token& token) {
+  if (is_punct(token, "{")) {
+    open_scope();
+    head_.clear();
+    return;
+  }
+  if (is_punct(token, "}")) {
+    if (!stack_.empty()) stack_.pop_back();
+    head_.clear();
+    return;
+  }
+  if (is_punct(token, ";")) {
+    head_.clear();
+    return;
+  }
+  head_.push_back(token);
+  // Statement heads never legitimately grow huge; cap so a pathological
+  // file cannot make this quadratic.
+  if (head_.size() > 256) head_.erase(head_.begin());
+}
+
+std::string ScopeTracker::class_path() const {
+  std::string path;
+  for (const Scope& scope : stack_) {
+    if (scope.kind == ScopeKind::kNamespace || scope.kind == ScopeKind::kClass) {
+      if (!scope.name.empty()) {
+        path += (path.empty() ? "" : "::") + scope.name;
+      }
+    } else if (!scope.class_context.empty()) {
+      path += (path.empty() ? "" : "::") + scope.class_context;
+    }
+  }
+  return path;
+}
+
+std::string ScopeTracker::namespace_path() const {
+  std::string path;
+  for (const Scope& scope : stack_) {
+    if (scope.kind == ScopeKind::kNamespace && !scope.name.empty()) {
+      path += (path.empty() ? "" : "::") + scope.name;
+    }
+  }
+  return path;
+}
+
+}  // namespace fr_analysis

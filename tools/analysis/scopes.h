@@ -1,0 +1,66 @@
+// Brace/scope tracker over the token stream (DESIGN.md §11).
+//
+// Feeds on tokens in order and maintains the stack of open scopes:
+// namespaces, class/struct bodies, and plain blocks. Out-of-line member
+// definitions (`void ThreadPool::worker_loop() { ... }`) are recognized
+// from the statement head, so symbol resolution inside a .cpp method
+// body still knows which class an unqualified `mutex_` belongs to.
+//
+// This is a token-level approximation, not a C++ parser: templates,
+// attribute soup, and macro tricks degrade it gracefully (a scope it
+// cannot classify is just a block). The passes that build on it are
+// heuristic lints, and every finding carries the file:line evidence to
+// judge it by.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/token.h"
+
+namespace fr_analysis {
+
+enum class ScopeKind {
+  kNamespace,
+  kClass,  ///< class/struct body
+  kBlock,  ///< function body, lambda, control flow, initializer, ...
+};
+
+struct Scope {
+  ScopeKind kind = ScopeKind::kBlock;
+  std::string name;           ///< namespace or class name ("" if anonymous)
+  std::string class_context;  ///< for kBlock: class qualifier of an
+                              ///< out-of-line member definition, else ""
+};
+
+class ScopeTracker {
+ public:
+  /// Processes one token. Call for every token of the file in order;
+  /// query state *before* advancing past the token of interest (the
+  /// scope of a token is the stack as of its first character).
+  void advance(const Token& token);
+
+  [[nodiscard]] const std::vector<Scope>& stack() const noexcept {
+    return stack_;
+  }
+
+  /// Depth in braces (number of open scopes).
+  [[nodiscard]] std::size_t depth() const noexcept { return stack_.size(); }
+
+  /// Qualified class path enclosing the current position:
+  /// namespace/class scope names joined with "::", plus the class
+  /// context of an out-of-line member body. Empty at file scope.
+  [[nodiscard]] std::string class_path() const;
+
+  /// Like class_path() but namespaces only (for file-scope symbols).
+  [[nodiscard]] std::string namespace_path() const;
+
+ private:
+  void open_scope();
+
+  std::vector<Scope> stack_;
+  std::vector<Token> head_;  ///< tokens since the last ; { or }
+};
+
+}  // namespace fr_analysis

@@ -1,0 +1,65 @@
+// Shared violation record + output formatting for fr_lint/fr_analyze.
+//
+// Both tools speak the same two formats: the human one on stderr
+// (file:line: [rule] message) and, under --json, machine-readable
+// records on stdout so scripts/check.sh and CI can diff violations
+// instead of grepping stderr.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fr_analysis {
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+inline std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Emits the violations as a JSON array of {file,line,rule,message}.
+inline void emit_json(std::FILE* out, const std::vector<Violation>& violations) {
+  std::fprintf(out, "[");
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const Violation& v = violations[i];
+    std::fprintf(out,
+                 "%s\n  {\"file\": \"%s\", \"line\": %zu, \"rule\": \"%s\", "
+                 "\"message\": \"%s\"}",
+                 i == 0 ? "" : ",", json_escape(v.file).c_str(), v.line,
+                 json_escape(v.rule).c_str(), json_escape(v.message).c_str());
+  }
+  std::fprintf(out, "\n]\n");
+}
+
+inline void emit_text(std::FILE* out, const std::vector<Violation>& violations) {
+  for (const Violation& v : violations) {
+    std::fprintf(out, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
+                 v.rule.c_str(), v.message.c_str());
+  }
+}
+
+}  // namespace fr_analysis

@@ -1,0 +1,330 @@
+// fr_analyze — token-level cross-file analyzer for the invariants the
+// single-file fr_lint pass structurally cannot see (DESIGN.md §11):
+//
+//   * the global lock hierarchy (lock-order-cycle): MutexLock nesting
+//     is extracted per translation unit, resolved through the mutex
+//     symbol table + include graph, and merged into one acquired-after
+//     graph; any cycle is a potential deadlock and is reported with
+//     the full witness path;
+//   * the sim-time discipline (sim-time): no real-time sources in
+//     pipeline code outside common/sim_clock.* / common/timer.h;
+//   * the bit-determinism contract (determinism-reduction): no
+//     captured floating-point accumulation inside parallel_for
+//     lambdas.
+//
+// The static side is paired with a dynamic verifier: build with
+// -DFAULTYRANK_DEADLOCK_DETECT=ON (the `deadlock` preset) and the
+// annotated Mutex wrappers maintain per-thread held-lock stacks plus a
+// global acquired-after edge set, aborting (or calling the test hook)
+// with both stacks on an inversion. Statically this tool covers all
+// code paths; dynamically the tests cover the paths they execute.
+//
+// Usage:
+//   fr_analyze [--json] <dir-or-file>...     analyze; exit 1 on violation
+//   fr_analyze --self-test <fixtures-dir>    EXPECT-driven fixture check
+//   fr_analyze --coverage [--baseline <f> | --write-baseline <f>] <roots>
+//                                            annotation-coverage gate
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/include_graph.h"
+#include "analysis/lock_graph.h"
+#include "analysis/passes.h"
+#include "analysis/symbols.h"
+#include "analysis/tokenizer.h"
+#include "analysis/violation.h"
+
+namespace fs = std::filesystem;
+using namespace fr_analysis;
+
+namespace {
+
+bool analyzable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+std::vector<fs::path> collect(const std::vector<std::string>& roots,
+                              bool include_fixtures) {
+  std::vector<fs::path> files;
+  for (const auto& root : roots) {
+    if (fs::is_directory(root)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        const std::string p = entry.path().generic_string();
+        if (!entry.is_regular_file() || !analyzable(entry.path())) continue;
+        if (!include_fixtures && p.find("_fixtures") != std::string::npos) {
+          continue;
+        }
+        if (p.find("/build") != std::string::npos) continue;
+        files.push_back(entry.path());
+      }
+    } else if (fs::is_regular_file(root)) {
+      files.push_back(root);
+    } else {
+      std::fprintf(stderr, "fr_analyze: no such path: %s\n", root.c_str());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+struct Corpus {
+  std::vector<SourceFile> files;
+  IncludeGraph includes;
+  SymbolTable symbols;
+  LockGraph locks;
+};
+
+Corpus load_corpus(const std::vector<fs::path>& paths) {
+  Corpus corpus;
+  corpus.files.reserve(paths.size());
+  for (const fs::path& path : paths) {
+    corpus.files.push_back(tokenize_file(path.generic_string()));
+  }
+  corpus.includes = IncludeGraph::build(corpus.files);
+  corpus.symbols = SymbolTable::build(corpus.files, corpus.includes);
+  corpus.locks =
+      LockGraph::build(corpus.files, corpus.symbols, corpus.includes);
+  return corpus;
+}
+
+int run_analyze(const std::vector<std::string>& roots, bool json) {
+  const Corpus corpus = load_corpus(collect(roots, /*include_fixtures=*/false));
+  const std::vector<Violation> violations = run_all_passes(
+      corpus.files, corpus.symbols, corpus.includes, corpus.locks, {});
+  if (json) {
+    emit_json(stdout, violations);
+  } else {
+    emit_text(stderr, violations);
+  }
+  std::fprintf(stderr,
+               "fr_analyze: %zu file(s), %zu include edge(s), %zu mutex(es), "
+               "%zu lock edge(s), %zu violation(s)\n",
+               corpus.files.size(), corpus.includes.edge_count(),
+               corpus.symbols.mutexes().size(), corpus.locks.edges().size(),
+               violations.size());
+  return violations.empty() ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------
+// --coverage: annotated-vs-bare wrapper mutexes per directory, plus the
+// baseline regression gate (a previously annotated mutex must never
+// lose its last FR_GUARDED_BY).
+// ---------------------------------------------------------------------
+
+std::string dir_of(const std::string& path) {
+  const std::size_t cut = path.rfind('/');
+  return cut == std::string::npos ? "." : path.substr(0, cut);
+}
+
+int run_coverage(const std::vector<std::string>& roots,
+                 const std::string& baseline_path, bool write_baseline) {
+  const Corpus corpus = load_corpus(collect(roots, /*include_fixtures=*/false));
+
+  std::map<std::string, std::pair<std::size_t, std::size_t>> by_dir;
+  std::vector<const MutexDecl*> annotated;
+  for (const MutexDecl& decl : corpus.symbols.mutexes()) {
+    if (!decl.wrapper) continue;  // std::mutex is invisible to the analysis
+    auto& [ann, bare] = by_dir[dir_of(decl.file)];
+    if (decl.guarded_refs > 0) {
+      ++ann;
+      annotated.push_back(&decl);
+    } else {
+      ++bare;
+    }
+  }
+
+  std::fprintf(stderr, "%-40s %9s %5s\n", "directory", "annotated", "bare");
+  for (const auto& [dir, counts] : by_dir) {
+    std::fprintf(stderr, "%-40s %9zu %5zu\n", dir.c_str(), counts.first,
+                 counts.second);
+  }
+
+  if (write_baseline) {
+    std::ofstream out(baseline_path);
+    out << "# fr_analyze annotation-coverage baseline — every wrapper mutex\n"
+           "# below carries at least one FR_GUARDED_BY/FR_PT_GUARDED_BY.\n"
+           "# Regenerate: fr_analyze --coverage --write-baseline <this-file> "
+           "src\n";
+    std::vector<std::string> ids;
+    for (const MutexDecl* decl : annotated) ids.push_back(decl->id);
+    std::sort(ids.begin(), ids.end());
+    for (const std::string& id : ids) out << "annotated " << id << "\n";
+    std::fprintf(stderr, "fr_analyze: wrote %zu baseline entr(ies) to %s\n",
+                 ids.size(), baseline_path.c_str());
+    return 0;
+  }
+
+  if (baseline_path.empty()) return 0;
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::fprintf(stderr, "fr_analyze: cannot read baseline %s\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+  std::size_t regressions = 0;
+  std::string word;
+  while (in >> word) {
+    if (word == "#") {
+      std::string rest;
+      std::getline(in, rest);
+      continue;
+    }
+    if (word != "annotated") {
+      std::getline(in, word);
+      continue;
+    }
+    std::string id;
+    if (!(in >> id)) break;
+    for (const MutexDecl& decl : corpus.symbols.mutexes()) {
+      if (decl.id == id && decl.wrapper && decl.guarded_refs == 0) {
+        ++regressions;
+        std::fprintf(stderr,
+                     "%s:%zu: [coverage] mutex '%s' lost its last "
+                     "FR_GUARDED_BY — the thread-safety analysis no longer "
+                     "checks anything against it\n",
+                     decl.file.c_str(), decl.line, id.c_str());
+      }
+    }
+  }
+  std::fprintf(stderr, "fr_analyze coverage: %zu regression(s)\n", regressions);
+  return regressions == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------
+// --self-test: fixtures state the rules they must trigger via
+// `// EXPECT: rule-id` headers (EXPECT: clean for none). The whole
+// fixtures dir is analyzed as one corpus (the passes are cross-file),
+// every EXPECT id must be a known rule, and every known rule must be
+// expected by exactly one fixture — so adding a pass without a fixture,
+// or a fixture for a renamed rule, fails loudly.
+// ---------------------------------------------------------------------
+
+int run_self_test(const std::string& fixtures_dir) {
+  const std::vector<fs::path> paths =
+      collect({fixtures_dir}, /*include_fixtures=*/true);
+  if (paths.empty()) {
+    std::fprintf(stderr, "fr_analyze self-test: no fixtures found\n");
+    return 1;
+  }
+  const Corpus corpus = load_corpus(paths);
+  PassOptions options;
+  options.treat_all_as_src = true;
+  const std::vector<Violation> violations = run_all_passes(
+      corpus.files, corpus.symbols, corpus.includes, corpus.locks, options);
+
+  const std::set<std::string> known(kAnalyzeRuleIds.begin(),
+                                    kAnalyzeRuleIds.end());
+  int failures = 0;
+  std::map<std::string, std::size_t> expect_counts;
+
+  std::map<std::string, std::set<std::string>> actual;
+  for (const Violation& v : violations) actual[v.file].insert(v.rule);
+
+  for (const SourceFile& file : corpus.files) {
+    std::set<std::string> expected;
+    for (const std::string& raw : file.raw) {
+      const std::string tag = "// EXPECT: ";
+      const std::size_t pos = raw.find(tag);
+      if (pos == std::string::npos) continue;
+      const std::string rule = raw.substr(pos + tag.size());
+      if (rule == "clean") continue;
+      if (known.count(rule) == 0) {
+        ++failures;
+        std::fprintf(stderr, "fr_analyze self-test FAIL %s: unknown EXPECT id "
+                             "'%s'\n",
+                     file.path.c_str(), rule.c_str());
+        continue;
+      }
+      expected.insert(rule);
+      ++expect_counts[rule];
+    }
+    const std::set<std::string>& got = actual[file.path];
+    if (expected != got) {
+      ++failures;
+      std::string want_s, got_s;
+      for (const auto& r : expected) want_s += r + " ";
+      for (const auto& r : got) got_s += r + " ";
+      std::fprintf(stderr,
+                   "fr_analyze self-test FAIL %s\n  expected: %s\n  got:      "
+                   "%s\n",
+                   file.path.c_str(), want_s.empty() ? "(clean)" : want_s.c_str(),
+                   got_s.empty() ? "(clean)" : got_s.c_str());
+    }
+  }
+
+  for (const char* rule : kAnalyzeRuleIds) {
+    const std::size_t count = expect_counts[rule];
+    if (count != 1) {
+      ++failures;
+      std::fprintf(stderr,
+                   "fr_analyze self-test FAIL: rule '%s' expected by %zu "
+                   "fixture(s), want exactly 1\n",
+                   rule, count);
+    }
+  }
+
+  std::fprintf(stderr, "fr_analyze self-test: %zu fixture(s), %d failure(s)\n",
+               corpus.files.size(), failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  bool json = false;
+  bool coverage = false;
+  bool write_baseline = false;
+  std::string baseline;
+  std::string self_test_dir;
+  std::vector<std::string> roots;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--coverage") {
+      coverage = true;
+    } else if (arg == "--baseline" || arg == "--write-baseline") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "fr_analyze: %s takes a file argument\n",
+                     arg.c_str());
+        return 2;
+      }
+      baseline = args[++i];
+      write_baseline = arg == "--write-baseline";
+    } else if (arg == "--self-test") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "fr_analyze: --self-test takes a fixtures dir\n");
+        return 2;
+      }
+      self_test_dir = args[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "fr_analyze: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+
+  if (!self_test_dir.empty()) return run_self_test(self_test_dir);
+  if (roots.empty()) {
+    std::fprintf(
+        stderr,
+        "usage: fr_analyze [--json] <dir-or-file>...\n"
+        "       fr_analyze --self-test <fixtures-dir>\n"
+        "       fr_analyze --coverage [--baseline <file> | --write-baseline "
+        "<file>] <roots>\n");
+    return 2;
+  }
+  if (coverage) return run_coverage(roots, baseline, write_baseline);
+  return run_analyze(roots, json);
+}

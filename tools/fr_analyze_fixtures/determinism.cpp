@@ -1,0 +1,20 @@
+// EXPECT: determinism-reduction
+// Floating-point accumulation into a captured variable inside a
+// parallel_for lambda: the pool's scheduling decides the addition
+// order, so the sum differs run-to-run and across pool sizes.
+#include <cstddef>
+
+struct FakePool {
+  template <typename F>
+  void parallel_for(std::size_t begin, std::size_t end, F&& body) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  }
+};
+
+double racy_sum(FakePool& pool, const double* values, std::size_t n) {
+  double total = 0.0;
+  pool.parallel_for(0, n, [&](std::size_t i) {
+    total += values[i];
+  });
+  return total;
+}

@@ -1,0 +1,32 @@
+// EXPECT: clean
+// The blessed fixed-block reduction shape: a lambda-local accumulator
+// drains into a disjoint indexed slot per block, and the final
+// cross-block sum happens sequentially — bit-identical for any pool
+// size. This is the pattern core/faultyrank.cpp's reduce_block_sum
+// uses, and the determinism pass must not fire on it.
+#include <cstddef>
+#include <vector>
+
+struct FakePool {
+  template <typename F>
+  void parallel_for(std::size_t begin, std::size_t end, F&& body) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  }
+};
+
+double block_sum(FakePool& pool, const std::vector<double>& values,
+                 std::size_t blocks) {
+  std::vector<double> partial(blocks, 0.0);
+  const std::size_t stride = values.size() / blocks + 1;
+  pool.parallel_for(0, blocks, [&](std::size_t block) {
+    double acc = 0.0;
+    const std::size_t lo = block * stride;
+    const std::size_t hi = lo + stride < values.size() ? lo + stride
+                                                       : values.size();
+    for (std::size_t i = lo; i < hi; ++i) acc += values[i];
+    partial[block] = acc;
+  });
+  double total = 0.0;
+  for (const double p : partial) total += p;
+  return total;
+}

@@ -1,0 +1,12 @@
+// EXPECT: lock-order-cycle
+// One half of a seeded A-before-B / B-before-A inversion. The other
+// half lives in lock_order_cycle_b.cpp; the cycle only exists when the
+// analyzer merges acquisition orders across translation units. The
+// violation is attributed to this file because its witness edge is the
+// lexicographically smallest (see run_lock_order_pass).
+#include "locks.h"
+
+void transfer_a_then_b() {
+  fx::MutexLock hold_a(fx::g_lock_a);
+  fx::MutexLock hold_b(fx::g_lock_b);
+}

@@ -1,0 +1,12 @@
+// EXPECT: clean
+// Second half of the seeded inversion: acquires g_lock_b before
+// g_lock_a, the reverse of lock_order_cycle_a.cpp. The resulting cycle
+// is reported once, attributed to the file with the smallest witness
+// edge (lock_order_cycle_a.cpp) — so this file expects no violation of
+// its own even though it participates in the cycle.
+#include "locks.h"
+
+void transfer_b_then_a() {
+  fx::MutexLock hold_b(fx::g_lock_b);
+  fx::MutexLock hold_a(fx::g_lock_a);
+}

@@ -1,0 +1,27 @@
+// EXPECT: clean
+// Nested acquisition in a consistent global order (A before B in every
+// function) plus the unlock-before-callback idiom from
+// thread_pool.cpp — neither may produce a cycle.
+#include "locks.h"
+
+void consistent_order_one() {
+  fx::MutexLock hold_a(fx::g_lock_a);
+  fx::MutexLock hold_b(fx::g_lock_b);
+}
+
+void consistent_order_two() {
+  fx::MutexLock hold_a(fx::g_lock_a);
+  {
+    fx::MutexLock hold_b(fx::g_lock_b);
+  }
+}
+
+void unlock_before_nested() {
+  fx::MutexLock hold_b(fx::g_lock_b);
+  hold_b.unlock();
+  // g_lock_b is no longer held here, so acquiring g_lock_a does NOT
+  // create a b->a edge (this is the pool's run_task re-entry pattern).
+  fx::MutexLock hold_a(fx::g_lock_a);
+  hold_a.unlock();
+  hold_b.lock();
+}

@@ -1,0 +1,14 @@
+// EXPECT: clean
+// Banned spellings inside a raw string literal — including an
+// unbalanced quote that would desync a line-based scrubber — must not
+// trip any pass: the tokenizer blanks raw-string contents before the
+// passes ever see them.
+#include <string>
+
+std::string lint_documentation() {
+  return R"DOC(
+    The sim-time pass rejects sleep_for, system_clock::now() and raw
+    time() calls in pipeline code. An unbalanced " quote and a fake
+    parallel_for([&] { total += x; }) live here too, all inert.
+  )DOC";
+}

@@ -1,0 +1,11 @@
+// EXPECT: sim-time
+// Real-time sources in pipeline code: each of these must be charged to
+// SimClock instead so a scan replays identically across runs.
+#include <chrono>
+#include <thread>
+
+long long pipeline_step() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const auto now = std::chrono::system_clock::now();
+  return now.time_since_epoch().count();
+}

@@ -32,33 +32,44 @@
 //                        exempt: their trip count is the bound.
 //
 // A line can opt out with a trailing `// fr_lint: allow(rule-id)`.
-// Comments and string/char literals are stripped before matching, so
-// documentation does not trip the rules.
+// Comments and string/char literals are stripped before matching by
+// the shared fr_analysis scrubber (tools/analysis/tokenizer.cpp) —
+// the same token stream fr_analyze uses — so documentation, and raw
+// string literals in particular, do not trip the rules.
 //
 // Usage:
-//   fr_lint <dir-or-file>...        lint; exit 1 on any violation
-//   fr_lint --self-test <fixtures>  run against fixture files whose
-//                                   `// EXPECT:` headers state which
-//                                   rules must fire; exit 1 on mismatch
+//   fr_lint [--json] <dir-or-file>...  lint; exit 1 on any violation
+//   fr_lint --self-test <fixtures>     run against fixture files whose
+//                                      `// EXPECT:` headers state which
+//                                      rules must fire; exit 1 on
+//                                      mismatch, on an unknown EXPECT
+//                                      id, or when any rule id is not
+//                                      covered by exactly one fixture
 #include <algorithm>
+#include <array>
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
+
+#include "analysis/tokenizer.h"
+#include "analysis/violation.h"
 
 namespace fs = std::filesystem;
 
 namespace {
 
-struct Violation {
-  std::string file;
-  std::size_t line = 0;
-  std::string rule;
-  std::string message;
-};
+using fr_analysis::Violation;
+
+/// Every rule id fr_lint can emit; the self-test demands each appears
+/// in exactly one fixture's EXPECT header.
+constexpr std::array<const char*, 5> kLintRuleIds = {
+    "mutex-needs-guards", "no-raw-thread", "no-c-random",
+    "no-iostream-in-lib", "no-unbounded-retry"};
 
 struct FileContent {
   std::vector<std::string> raw;       // original lines
@@ -67,54 +78,6 @@ struct FileContent {
 
 bool is_ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// Blanks comments and string/char literal contents with spaces,
-/// keeping line lengths and offsets stable. Tracks /* */ across lines.
-std::vector<std::string> scrub(const std::vector<std::string>& raw) {
-  std::vector<std::string> out;
-  out.reserve(raw.size());
-  bool in_block = false;
-  for (const std::string& line : raw) {
-    std::string s = line;
-    for (std::size_t i = 0; i < s.size(); ++i) {
-      if (in_block) {
-        if (s[i] == '*' && i + 1 < s.size() && s[i + 1] == '/') {
-          s[i] = s[i + 1] = ' ';
-          ++i;
-          in_block = false;
-        } else {
-          s[i] = ' ';
-        }
-        continue;
-      }
-      if (s[i] == '/' && i + 1 < s.size() && s[i + 1] == '/') {
-        for (std::size_t j = i; j < s.size(); ++j) s[j] = ' ';
-        break;
-      }
-      if (s[i] == '/' && i + 1 < s.size() && s[i + 1] == '*') {
-        s[i] = s[i + 1] = ' ';
-        ++i;
-        in_block = true;
-        continue;
-      }
-      if (s[i] == '"' || s[i] == '\'') {
-        const char quote = s[i];
-        // Keep the quotes, blank the contents (escape-aware).
-        for (++i; i < s.size(); ++i) {
-          if (s[i] == '\\' && i + 1 < s.size()) {
-            s[i] = s[i + 1] = ' ';
-            ++i;
-            continue;
-          }
-          if (s[i] == quote) break;
-          s[i] = ' ';
-        }
-      }
-    }
-    out.push_back(std::move(s));
-  }
-  return out;
 }
 
 bool line_allows(const std::string& raw_line, const std::string& rule) {
@@ -428,7 +391,7 @@ FileContent read_file(const fs::path& path) {
   std::ifstream in(path);
   std::string line;
   while (std::getline(in, line)) content.raw.push_back(line);
-  content.scrubbed = scrub(content.raw);
+  content.scrubbed = fr_analysis::scrub_lines(content.raw);
   return content;
 }
 
@@ -453,7 +416,7 @@ std::vector<fs::path> collect(const std::vector<std::string>& roots) {
   return files;
 }
 
-int run_lint(const std::vector<std::string>& roots) {
+int run_lint(const std::vector<std::string>& roots, bool json) {
   std::vector<Violation> violations;
   std::size_t file_count = 0;
   for (const fs::path& path : collect(roots)) {
@@ -463,9 +426,10 @@ int run_lint(const std::vector<std::string>& roots) {
     const auto found = lint_file(p, read_file(path), is_library);
     violations.insert(violations.end(), found.begin(), found.end());
   }
-  for (const auto& v : violations) {
-    std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
-                 v.rule.c_str(), v.message.c_str());
+  if (json) {
+    fr_analysis::emit_json(stdout, violations);
+  } else {
+    fr_analysis::emit_text(stderr, violations);
   }
   std::fprintf(stderr, "fr_lint: %zu file(s), %zu violation(s)\n", file_count,
                violations.size());
@@ -474,10 +438,15 @@ int run_lint(const std::vector<std::string>& roots) {
 
 /// Fixture mode: every fixture states the rules it must trigger via
 /// `// EXPECT: rule-id` header lines (`// EXPECT: clean` for none);
-/// fixtures are linted as library code so every rule is live.
+/// fixtures are linted as library code so every rule is live. An
+/// EXPECT id outside kLintRuleIds fails (it would silently test
+/// nothing), and every rule id must be expected by exactly one fixture
+/// so a rule cannot lose its proof without the suite noticing.
 int run_self_test(const std::string& fixtures_dir) {
+  const std::set<std::string> known(kLintRuleIds.begin(), kLintRuleIds.end());
   int failures = 0;
   std::size_t checked = 0;
+  std::map<std::string, std::size_t> expect_counts;
   for (const fs::path& path : [&] {
          std::vector<fs::path> files;
          for (const auto& entry : fs::directory_iterator(fixtures_dir)) {
@@ -494,10 +463,18 @@ int run_self_test(const std::string& fixtures_dir) {
     for (const std::string& raw : content.raw) {
       const std::string tag = "// EXPECT: ";
       const std::size_t pos = raw.find(tag);
-      if (pos != std::string::npos) {
-        const std::string rule = raw.substr(pos + tag.size());
-        if (rule != "clean") expected.insert(rule);
+      if (pos == std::string::npos) continue;
+      const std::string rule = raw.substr(pos + tag.size());
+      if (rule == "clean") continue;
+      if (known.count(rule) == 0) {
+        ++failures;
+        std::fprintf(stderr,
+                     "fr_lint self-test FAIL %s: unknown EXPECT id '%s'\n",
+                     path.generic_string().c_str(), rule.c_str());
+        continue;
       }
+      expected.insert(rule);
+      ++expect_counts[rule];
     }
     std::set<std::string> actual;
     for (const auto& v :
@@ -517,6 +494,16 @@ int run_self_test(const std::string& fixtures_dir) {
                    got.empty() ? "(clean)" : got.c_str());
     }
   }
+  for (const char* rule : kLintRuleIds) {
+    const std::size_t count = expect_counts[rule];
+    if (count != 1) {
+      ++failures;
+      std::fprintf(stderr,
+                   "fr_lint self-test FAIL: rule '%s' expected by %zu "
+                   "fixture(s), want exactly 1\n",
+                   rule, count);
+    }
+  }
   std::fprintf(stderr, "fr_lint self-test: %zu fixture(s), %d failure(s)\n",
                checked, failures);
   if (checked == 0) {
@@ -530,9 +517,17 @@ int run_self_test(const std::string& fixtures_dir) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+  bool json = false;
+  std::erase_if(args, [&](const std::string& arg) {
+    if (arg == "--json") {
+      json = true;
+      return true;
+    }
+    return false;
+  });
   if (args.empty()) {
     std::fprintf(stderr,
-                 "usage: fr_lint <dir-or-file>...\n"
+                 "usage: fr_lint [--json] <dir-or-file>...\n"
                  "       fr_lint --self-test <fixtures-dir>\n");
     return 2;
   }
@@ -543,5 +538,5 @@ int main(int argc, char** argv) {
     }
     return run_self_test(args[1]);
   }
-  return run_lint(args);
+  return run_lint(args, json);
 }

@@ -1,7 +1,13 @@
 // EXPECT: no-c-random
 // rand() breaks run-to-run reproducibility; everything randomized must
-// flow through the seeded generators in common/random.h.
+// flow through the seeded generators in common/random.h. The raw
+// string below (with its unbalanced quote) precedes the violations: a
+// line-based scrubber desyncs on it and goes blind for the rest of the
+// file, so this fixture also proves detection survives raw strings.
 #include <cstdlib>
+#include <string>
+
+const std::string kDiceDoc = R"(dice " rolling)";
 
 int roll_dice() {
   std::srand(42);

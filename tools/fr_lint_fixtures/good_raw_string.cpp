@@ -1,0 +1,21 @@
+// EXPECT: clean
+// Raw string literals may contain anything — unbalanced quotes, banned
+// spellings, fake code. The scrubber must blank the whole raw-string
+// body (including across lines) so none of it reaches the rules.
+#include <string>
+
+std::string usage_text() {
+  return R"HELP(
+    Unpaired quote: " — and some banned-looking text:
+      std::thread worker(run);
+      std::srand(42); int x = rand();
+      #include <iostream>
+      while (true) { retry(); backoff(); }
+  )HELP";
+}
+
+std::string delimiter_decoy() {
+  // A close-paren + quote inside the body must not end the literal
+  // early; only the exact )ID" sequence does.
+  return R"ID(contains )" and )OTHER" but ends here)ID";
+}
