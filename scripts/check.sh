@@ -61,6 +61,12 @@ run ctest --preset deadlock -j "${JOBS}"
 run ctest --preset default -j "${JOBS}" -L robustness --output-on-failure
 run ./build/bench/fault_campaign --smoke
 
+# 5b. Cluster-life soak smoke: traffic + injected faults + the online
+#     checker + checkpointed offline passes on one cluster; exits
+#     non-zero if detection, repair convergence, the stale-epoch guard,
+#     or degraded-coverage recovery breaks.
+run ./build/bench/soak --smoke --out build/BENCH_soak_smoke.json
+
 # 6. Kernel-comparison smoke: the PropagationPlan kernel must agree
 #    bitwise with the naive reference (exit 1 otherwise). Small graph —
 #    this is a correctness gate; the committed BENCH_kernels.json comes

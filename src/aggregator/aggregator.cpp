@@ -162,14 +162,23 @@ PipelineResult scan_and_aggregate(const LustreCluster& cluster,
         throw PersistenceError("checkpoint " + config.checkpoint_path +
                                " does not match this cluster's servers");
       }
-      for (std::size_t i = 0; i < server_count; ++i) {
-        if (loaded.results[i].has_value()) {
-          scan.results[i] = std::move(*loaded.results[i]);
-          prefilled[i] = 1;
-          ++out.servers_resumed;
+      if (loaded.epoch != config.checkpoint_epoch) {
+        // Same cluster, older content: the namespace mutated between
+        // the interruption and this resume. Those scans describe a
+        // state that no longer exists — resuming them would mix two
+        // points in time into one graph. Discard and rescan everything.
+        out.checkpoint_discarded = true;
+      } else {
+        for (std::size_t i = 0; i < server_count; ++i) {
+          if (loaded.results[i].has_value()) {
+            scan.results[i] = std::move(*loaded.results[i]);
+            prefilled[i] = 1;
+            ++out.servers_resumed;
+          }
         }
       }
     }
+    ckpt.epoch = config.checkpoint_epoch;
     ckpt.labels = labels;
     ckpt.results.resize(server_count);
     for (std::size_t i = 0; i < server_count; ++i) {
@@ -313,9 +322,9 @@ PipelineResult scan_and_aggregate(const LustreCluster& cluster,
   for (std::size_t i = 0; i < server_count; ++i) {
     if (scan.results[i].status != ScanStatus::kFailed) continue;
     out.failed_servers.push_back(labels[i]);
-    coverage.lost_sequences.push_back(
-        i < mdt_count ? cluster.mdt_server(i).fids.seq()
-                      : cluster.osts()[i - mdt_count].fids.seq());
+    coverage.add_lost_sequence(i < mdt_count
+                                   ? cluster.mdt_server(i).fids.seq()
+                                   : cluster.osts()[i - mdt_count].fids.seq());
   }
   fill_coverage_fraction(scan.results, coverage);
 

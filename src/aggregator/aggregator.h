@@ -115,6 +115,13 @@ struct PipelineConfig {
   /// Non-empty: load this checkpoint if present (resuming completed
   /// scans), and save after completed scans. The write is atomic.
   std::string checkpoint_path;
+  /// Cluster-content fingerprint stamped into saved checkpoints (e.g.
+  /// the changelog cursor at scan start). A checkpoint on disk whose
+  /// epoch differs is *discarded* instead of resumed: its scans were
+  /// taken against older content, and prefilling them would silently
+  /// merge two points in time into one graph (phantom findings at every
+  /// edge into the stale region). See ScanCheckpoint::epoch.
+  std::uint64_t checkpoint_epoch = 0;
   /// Save after every N newly completed scans (the final state is
   /// always flushed).
   std::size_t checkpoint_every = 1;
@@ -138,6 +145,10 @@ struct PipelineResult {
   /// How many slots were prefilled from the checkpoint instead of
   /// being rescanned.
   std::size_t servers_resumed = 0;
+  /// A checkpoint existed but carried a different epoch (the cluster
+  /// mutated since it was written), so it was ignored and every server
+  /// rescanned.
+  bool checkpoint_discarded = false;
 };
 
 /// Scans every server and aggregates, streaming each finished partial

@@ -7,7 +7,9 @@ namespace faultyrank {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x46524350;  // "FRCP"
-constexpr std::uint32_t kVersion = 1;
+// v2 added the cluster-content epoch; v1 files load with epoch 0.
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kVersionNoEpoch = 1;
 
 void put_scan_result(ByteWriter& w, const ScanResult& scan) {
   w.put(static_cast<std::uint8_t>(scan.status));
@@ -63,6 +65,7 @@ std::vector<std::uint8_t> serialize_checkpoint(
   ByteWriter w;
   w.put(kMagic);
   w.put(kVersion);
+  w.put(checkpoint.epoch);
   w.put(static_cast<std::uint32_t>(checkpoint.labels.size()));
   for (std::size_t i = 0; i < checkpoint.labels.size(); ++i) {
     w.put_string(checkpoint.labels[i]);
@@ -80,10 +83,12 @@ ScanCheckpoint deserialize_checkpoint(const std::vector<std::uint8_t>& bytes) {
     if (r.get<std::uint32_t>() != kMagic) {
       throw PersistenceError("not a scan checkpoint");
     }
-    if (r.get<std::uint32_t>() != kVersion) {
+    const auto version = r.get<std::uint32_t>();
+    if (version != kVersion && version != kVersionNoEpoch) {
       throw PersistenceError("unsupported checkpoint version");
     }
     ScanCheckpoint checkpoint;
+    if (version >= kVersion) checkpoint.epoch = r.get<std::uint64_t>();
     // Each slot encodes at least a label length and a presence byte.
     const auto slots = r.bounded_count(r.get<std::uint32_t>(), 5);
     checkpoint.labels.reserve(slots);

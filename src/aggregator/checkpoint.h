@@ -10,11 +10,22 @@
 // deterministic, the resumed run's ranks are bit-identical to an
 // uninterrupted run over the same cluster.
 //
-// Format "FRCP" v1: header, slot count, then per slot a presence byte
-// and — when present — the server label, scan counters and the
-// length-prefixed PartialGraph wire encoding. Corruption in any field
-// throws PersistenceError (never UB); counts are validated against the
-// remaining bytes before any allocation.
+// Format "FRCP" v2: header, cluster epoch, slot count, then per slot a
+// presence byte and — when present — the server label, scan counters
+// and the length-prefixed PartialGraph wire encoding. Corruption in any
+// field throws PersistenceError (never UB); counts are validated
+// against the remaining bytes before any allocation. v1 files (no
+// epoch) still load, with epoch 0.
+//
+// The epoch is the caller's fingerprint of cluster *content* at scan
+// start (e.g. the changelog cursor). Matching labels only prove the
+// checkpoint belongs to the same cluster topology; on a live system the
+// namespace keeps mutating between an interruption and the resume, and
+// prefilling scans taken against older content would silently mix two
+// points in time into one graph — every cross-slot edge into the stale
+// region then shows up as a phantom inconsistency. The pipeline
+// discards (rather than resumes) a checkpoint whose epoch differs from
+// PipelineConfig::checkpoint_epoch.
 #pragma once
 
 #include <optional>
@@ -26,6 +37,9 @@
 namespace faultyrank {
 
 struct ScanCheckpoint {
+  /// Caller-defined cluster-content fingerprint at scan start (see the
+  /// header comment). 0 for callers that never mutate between runs.
+  std::uint64_t epoch = 0;
   /// Slot → server label for the cluster this checkpoint belongs to
   /// (MDTs first, then OSTs — the pipeline's slot order). A resume
   /// against a cluster with different labels is rejected.

@@ -26,11 +26,13 @@ CheckerResult run_pass(LustreCluster& cluster, const CheckerConfig& config) {
   pipeline_config.faults = config.faults;
   pipeline_config.retry = config.retry;
   pipeline_config.checkpoint_path = config.checkpoint_path;
+  pipeline_config.checkpoint_epoch = config.checkpoint_epoch;
   const PipelineResult pipeline = scan_and_aggregate(cluster, pipeline_config);
   const ClusterScan& scan = pipeline.scan;
   result.coverage = pipeline.agg.coverage;
   result.failed_servers = pipeline.failed_servers;
   result.servers_resumed = pipeline.servers_resumed;
+  result.checkpoint_discarded = pipeline.checkpoint_discarded;
   const AggregationResult& aggregated = pipeline.agg;
   result.timings.t_scan_sim = scan.sim_seconds;
   result.timings.t_scan_wall = scan.wall_seconds;

@@ -46,6 +46,10 @@ struct CheckerConfig {
   /// Non-empty: checkpoint completed scans here and resume from an
   /// existing checkpoint (see PipelineConfig).
   std::string checkpoint_path;
+  /// Cluster-content fingerprint for checkpoint staleness detection
+  /// (PipelineConfig::checkpoint_epoch): a checkpoint written under a
+  /// different epoch is discarded instead of resumed.
+  std::uint64_t checkpoint_epoch = 0;
 };
 
 struct CheckerTimings {
@@ -95,6 +99,9 @@ struct CheckerResult {
   std::vector<std::string> failed_servers;
   /// Slots restored from the checkpoint instead of rescanned.
   std::size_t servers_resumed = 0;
+  /// An on-disk checkpoint was ignored because its epoch did not match
+  /// (the cluster mutated since it was written).
+  bool checkpoint_discarded = false;
 };
 
 /// Runs the complete pipeline against `cluster`.

@@ -1,0 +1,37 @@
+#include "checker/convergence.h"
+
+#include "checker/repair_executor.h"
+
+namespace faultyrank {
+
+ConvergenceResult repair_until_clean(LustreCluster& cluster,
+                                     OnlineChecker& checker,
+                                     std::size_t max_rounds) {
+  ConvergenceResult result;
+  for (std::size_t round = 0; round <= max_rounds; ++round) {
+    checker.catch_up();
+    // Raw corruption and raw repairs both bypass the changelog; a full
+    // scrub makes the graph reflect the images exactly before judging.
+    checker.full_scrub();
+    const OnlineCheckResult check = checker.check();
+    result.residual_findings = check.report.findings.size();
+    if (check.report.consistent()) {
+      result.clean = true;
+      return result;
+    }
+    if (round == max_rounds) break;  // out of budget; report residue
+    RepairExecutor executor(cluster);
+    const auto outcomes = executor.apply_all(check.report.repair_plan());
+    std::size_t applied = 0;
+    for (const auto& outcome : outcomes) {
+      if (outcome.applied) ++applied;
+    }
+    result.repairs_applied += applied;
+    ++result.repair_rounds;
+    // A round that repairs nothing cannot make the next check cleaner.
+    if (applied == 0) break;
+  }
+  return result;
+}
+
+}  // namespace faultyrank

@@ -1,0 +1,35 @@
+// Repair-convergence oracle: drive an OnlineChecker's
+// observe→detect→repair loop until the filesystem checks clean (or a
+// round budget runs out). This is the property the paper's Table III
+// claims per scenario — every planted inconsistency is repairable and
+// the repaired filesystem passes a fresh check — packaged so tests and
+// the soak harness assert it the same way.
+#pragma once
+
+#include <cstddef>
+
+#include "online/online_checker.h"
+#include "pfs/cluster.h"
+
+namespace faultyrank {
+
+struct ConvergenceResult {
+  /// Filesystem checked consistent within the round budget.
+  bool clean = false;
+  /// Rounds that applied at least one repair before the clean check.
+  /// 0 means the very first check was already clean.
+  std::size_t repair_rounds = 0;
+  /// Total repair actions applied across all rounds.
+  std::size_t repairs_applied = 0;
+  /// Findings still open after the final check (0 when clean).
+  std::size_t residual_findings = 0;
+};
+
+/// One round = catch_up + full_scrub + check; if findings remain, apply
+/// the recommended repair plan and go again. Bounded by `max_rounds`
+/// repair applications. The checker must already be bootstrapped.
+[[nodiscard]] ConvergenceResult repair_until_clean(LustreCluster& cluster,
+                                                   OnlineChecker& checker,
+                                                   std::size_t max_rounds = 4);
+
+}  // namespace faultyrank

@@ -128,30 +128,48 @@ RepairOutcome RepairExecutor::add_back_pointer(const RepairAction& action) {
   Inode& inode = *located->inode;
   switch (action.edge_kind) {
     case EdgeKind::kLinkEa: {
-      // Recover the link name from the parent's DIRENT if possible.
-      std::string name = "recovered_" + action.target.to_string();
+      // Recover the link names from the parent's DIRENT. A child hard-
+      // linked into the same directory under several names owns one
+      // LinkEA per name, so restore links until the multiplicities
+      // match — a single surviving link must not satisfy two dirents,
+      // or one dirent edge stays unpaired forever.
+      std::vector<std::string> names;
       if (const Inode* parent = cluster_.stat(action.value)) {
         for (const auto& entry : parent->dirents) {
-          if (entry.fid == action.target) {
-            name = entry.name;
-            break;
-          }
+          if (entry.fid == action.target) names.push_back(entry.name);
         }
       }
-      for (auto& link : inode.link_ea) {
-        if (link.parent == action.value) {
-          return success(action, "link already present");
+      if (names.empty()) {
+        names.push_back("recovered_" + action.target.to_string());
+      }
+      std::size_t present = 0;
+      for (const auto& link : inode.link_ea) {
+        if (link.parent == action.value) ++present;
+      }
+      const std::size_t needed = names.size();
+      std::size_t added = 0;
+      std::string last_name;
+      for (const std::string& name : names) {
+        if (present + added >= needed) break;
+        const bool answered = std::any_of(
+            inode.link_ea.begin(), inode.link_ea.end(),
+            [&](const LinkEaEntry& link) {
+              return link.parent == action.value && link.name == name;
+            });
+        if (answered) continue;
+        // A single-parent object with a *wrong* LinkEA gets it
+        // replaced; otherwise append.
+        if (added == 0 && present == 0 && inode.link_ea.size() == 1 &&
+            cluster_.stat(inode.link_ea[0].parent) == nullptr) {
+          inode.link_ea[0] = {action.value, name};
+        } else {
+          inode.link_ea.push_back({action.value, name});
         }
+        ++added;
+        last_name = name;
       }
-      // A single-parent object with a *wrong* LinkEA gets it replaced;
-      // otherwise append.
-      if (inode.link_ea.size() == 1 &&
-          cluster_.stat(inode.link_ea[0].parent) == nullptr) {
-        inode.link_ea[0] = {action.value, name};
-      } else {
-        inode.link_ea.push_back({action.value, name});
-      }
-      return success(action, "LinkEA restored (name '" + name + "')");
+      if (added == 0) return success(action, "link already present");
+      return success(action, "LinkEA restored (name '" + last_name + "')");
     }
     case EdgeKind::kObjParent: {
       std::uint32_t stripe_index = 0;
@@ -168,30 +186,47 @@ RepairOutcome RepairExecutor::add_back_pointer(const RepairAction& action) {
       return success(action, "filter_fid restored");
     }
     case EdgeKind::kDirent: {
-      // Recover the child's name from its LinkEA.
-      std::string name = "recovered_" + action.value.to_string();
+      // Recover the child's names from its LinkEA. A child hard-linked
+      // into this directory under several names needs one dirent per
+      // link, so restore entries until the multiplicities match (the
+      // mirror of the kLinkEa case above).
       std::uint64_t child_ino = 0;
+      std::vector<std::string> names;
       if (auto child = locate(action.value); child && child->on_mdt) {
         child_ino = child->inode->ino;
         for (const auto& link : child->inode->link_ea) {
-          if (link.parent == action.target) {
-            name = link.name;
-            break;
-          }
+          if (link.parent == action.target) names.push_back(link.name);
         }
       }
+      if (names.empty()) {
+        names.push_back("recovered_" + action.value.to_string());
+      }
+      std::size_t present = 0;
       for (const auto& entry : inode.dirents) {
-        if (entry.fid == action.value) {
-          return success(action, "dirent already present");
-        }
+        if (entry.fid == action.value) ++present;
       }
-      // Avoid name collisions with an unrelated entry.
-      const bool taken = std::any_of(
-          inode.dirents.begin(), inode.dirents.end(),
-          [&name](const DirentEntry& e) { return e.name == name; });
-      if (taken) name += "_recovered";
-      inode.dirents.push_back({name, action.value, child_ino});
-      return success(action, "dirent restored (name '" + name + "')");
+      const std::size_t needed = names.size();
+      std::size_t added = 0;
+      std::string last_name;
+      for (std::string name : names) {
+        if (present + added >= needed) break;
+        const bool answered = std::any_of(
+            inode.dirents.begin(), inode.dirents.end(),
+            [&](const DirentEntry& e) {
+              return e.fid == action.value && e.name == name;
+            });
+        if (answered) continue;
+        // Avoid name collisions with an unrelated entry.
+        const bool taken = std::any_of(
+            inode.dirents.begin(), inode.dirents.end(),
+            [&name](const DirentEntry& e) { return e.name == name; });
+        if (taken) name += "_recovered";
+        inode.dirents.push_back({name, action.value, child_ino});
+        ++added;
+        last_name = name;
+      }
+      if (added == 0) return success(action, "dirent already present");
+      return success(action, "dirent restored (name '" + last_name + "')");
     }
     case EdgeKind::kLovEa: {
       if (!inode.lov_ea.has_value()) {

@@ -70,6 +70,17 @@ class ServerFaultSchedule {
   /// clear the crash latch: a dead server stays dead when rescanned.
   void begin_scan() noexcept { reads_ = 0; }
 
+  /// Models the operator bringing a crashed server back: clears the
+  /// crash latch AND consumes the crash point, so the revived server
+  /// scans clean until a new schedule arms another crash. Transient
+  /// EIO/torn-EA/latency streams are untouched (they are pure in
+  /// (seed, label, slot, attempt) and keep replaying identically).
+  void revive() noexcept {
+    down_ = false;
+    crash_after_ = 0;
+    reads_ = 0;
+  }
+
   /// Accounts one physical read of an in-use inode. Throws
   /// ServerCrashError at the crash point and forever after.
   void on_read();

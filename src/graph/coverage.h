@@ -10,6 +10,7 @@
 // because the scan is incomplete, not because the metadata is wrong.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_set>
 #include <vector>
@@ -24,11 +25,23 @@ struct CoverageInfo {
   double coverage = 1.0;
   /// FID sequences owned by servers that failed entirely (crashed
   /// mid-scan, deadline exceeded). Every FID in these sequences is
-  /// unobservable, not absent.
+  /// unobservable, not absent. Kept sorted and deduplicated — insert
+  /// through add_lost_sequence() so fid_lost() can binary-search (it
+  /// runs once per candidate field inside the detector's per-finding
+  /// loop, where a linear scan was measurable on wide outages).
   std::vector<std::uint64_t> lost_sequences;
   /// FIDs of individual inodes the resilient scanner quarantined as
   /// unreadable on otherwise-surviving servers.
   std::unordered_set<Fid, FidHash> quarantined;
+
+  /// Records a failed server's FID sequence, keeping `lost_sequences`
+  /// sorted and unique.
+  void add_lost_sequence(std::uint64_t seq) {
+    const auto pos =
+        std::lower_bound(lost_sequences.begin(), lost_sequences.end(), seq);
+    if (pos != lost_sequences.end() && *pos == seq) return;
+    lost_sequences.insert(pos, seq);
+  }
 
   [[nodiscard]] bool complete() const noexcept {
     return lost_sequences.empty() && quarantined.empty();
@@ -38,8 +51,9 @@ struct CoverageInfo {
   /// but be unobservable in this scan?
   [[nodiscard]] bool fid_lost(const Fid& fid) const {
     if (fid.is_null()) return false;
-    for (const std::uint64_t seq : lost_sequences) {
-      if (fid.seq == seq) return true;
+    if (std::binary_search(lost_sequences.begin(), lost_sequences.end(),
+                           fid.seq)) {
+      return true;
     }
     return quarantined.contains(fid);
   }

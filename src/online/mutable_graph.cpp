@@ -21,6 +21,7 @@ void MutableMetadataGraph::upsert_vertex(const Fid& fid, ObjectKind kind) {
     if (!state.live) {
       state.live = true;
       state.out.clear();
+      state.scans = 1;
       ++live_vertices_;
       ++generation_;
     } else if (state.kind != kind) {
@@ -30,7 +31,7 @@ void MutableMetadataGraph::upsert_vertex(const Fid& fid, ObjectKind kind) {
     return;
   }
   index_.emplace(fid, slots_.size());
-  slots_.push_back({fid, kind, /*live=*/true, {}});
+  slots_.push_back({fid, kind, /*live=*/true, /*scans=*/1, {}});
   ++live_vertices_;
   ++generation_;
 }
@@ -70,18 +71,25 @@ bool MutableMetadataGraph::remove_edge(const Fid& src, const Fid& dst,
 
 void MutableMetadataGraph::replace_object(
     const Fid& fid, ObjectKind kind,
-    std::vector<std::pair<Fid, EdgeKind>> out_edges) {
+    std::vector<std::pair<Fid, EdgeKind>> out_edges,
+    std::uint32_t scan_count) {
   // A scrub that re-reads a healthy inode reproduces its current state
   // exactly; detect that and leave the generation untouched so cached
-  // snapshots/plans survive no-op scrub passes.
+  // snapshots/plans survive no-op scrub passes. The multiplicity is
+  // part of that state: a second inode appearing under this fid must
+  // invalidate cached plans even if the edge union happens to match.
   if (const auto it = index_.find(fid); it != index_.end()) {
     const VertexState& state = slots_[it->second];
-    if (state.live && state.kind == kind && state.out == out_edges) return;
+    if (state.live && state.kind == kind && state.scans == scan_count &&
+        state.out == out_edges) {
+      return;
+    }
   }
   upsert_vertex(fid, kind);
   VertexState& state = slots_[index_.at(fid)];
   edge_count_ -= state.out.size();
   state.out = std::move(out_edges);
+  state.scans = scan_count;
   edge_count_ += state.out.size();
   ++generation_;
 }
@@ -93,7 +101,12 @@ UnifiedGraph MutableMetadataGraph::freeze(ThreadPool* pool) const {
   partial.edges.reserve(edge_count_);
   for (const VertexState& state : slots_) {
     if (!state.live) continue;
-    partial.add_vertex(state.fid, state.kind);
+    // One vertex record per observed physical inode: the aggregate's
+    // scan count then matches an offline merge, which is what drives
+    // the detector's duplicate-id (Double Reference) conviction.
+    for (std::uint32_t scan = 0; scan < state.scans; ++scan) {
+      partial.add_vertex(state.fid, state.kind);
+    }
     for (const auto& [dst, kind] : state.out) {
       partial.add_edge(state.fid, dst, kind);
     }

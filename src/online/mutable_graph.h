@@ -36,9 +36,15 @@ class MutableMetadataGraph {
   bool remove_edge(const Fid& src, const Fid& dst, EdgeKind kind);
 
   /// Replaces an object's kind and entire out-edge set with a fresh
-  /// scan result (the scrub path).
+  /// scan result (the scrub path). `scan_count` is how many physical
+  /// inodes were observed carrying this fid — normally 1, more when an
+  /// id corruption duplicates another object's identity. The frozen
+  /// snapshot reproduces the multiplicity so the detector's
+  /// scan_count-based Double Reference conviction works on online
+  /// graphs exactly as on offline merges.
   void replace_object(const Fid& fid, ObjectKind kind,
-                      std::vector<std::pair<Fid, EdgeKind>> out_edges);
+                      std::vector<std::pair<Fid, EdgeKind>> out_edges,
+                      std::uint32_t scan_count = 1);
 
   [[nodiscard]] bool contains(const Fid& fid) const {
     const auto it = index_.find(fid);
@@ -69,6 +75,9 @@ class MutableMetadataGraph {
     Fid fid;
     ObjectKind kind = ObjectKind::kPhantom;
     bool live = false;  // tombstoned slots keep insertion order stable
+    /// Physical inodes observed carrying this fid (saturating would be
+    /// pointless here; the detector only asks "> 1").
+    std::uint32_t scans = 1;
     std::vector<std::pair<Fid, EdgeKind>> out;
   };
 

@@ -59,13 +59,15 @@ void OnlineChecker::bootstrap() {
   plan_.reset();
   snapshot_.reset();
   graph_ = MutableMetadataGraph();
+  claimants_.clear();
   last_seen_.assign(server_count(), {});
   for (std::size_t server = 0; server < server_count(); ++server) {
     const LdiskfsImage& image = image_of(server);
     auto& seen = last_seen_[server];
     seen.assign(image.inode_slots(), kNullFid);
     image.for_each_inode([&](const Inode& inode) {
-      graph_.replace_object(inode.lma_fid, kind_of(inode), edges_of(inode));
+      add_claim(inode.lma_fid, server, inode.ino);
+      refresh_identity(inode.lma_fid);
       seen[inode.ino - 1] = inode.lma_fid;
     });
   }
@@ -76,14 +78,27 @@ void OnlineChecker::bootstrap() {
   scrub_ino_ = 1;
 }
 
+void OnlineChecker::ensure_vertex(const Fid& fid, ObjectKind kind) {
+  if (!graph_.contains(fid)) graph_.upsert_vertex(fid, kind);
+}
+
 void OnlineChecker::apply(const ChangeRecord& record) {
+  // A record's endpoints may be unknown to the graph: scrubbing retires
+  // a vertex whose on-disk identity was corrupted, and a later repair
+  // restores the identity through the raw image (bypassing the
+  // changelog), so logical ops on it reference a fid we dropped.
+  // Re-materialize missing endpoints instead of throwing; the vertex
+  // starts bare and the scrubber reconciles its full edge set on the
+  // next pass over that slot.
   switch (record.op) {
     case ChangeOp::kMkdir:
+      ensure_vertex(record.parent, ObjectKind::kDirectory);
       graph_.upsert_vertex(record.target, ObjectKind::kDirectory);
       graph_.add_edge(record.target, record.parent, EdgeKind::kLinkEa);
       graph_.add_edge(record.parent, record.target, EdgeKind::kDirent);
       break;
     case ChangeOp::kCreateFile:
+      ensure_vertex(record.parent, ObjectKind::kDirectory);
       graph_.upsert_vertex(record.target, ObjectKind::kFile);
       graph_.add_edge(record.target, record.parent, EdgeKind::kLinkEa);
       graph_.add_edge(record.parent, record.target, EdgeKind::kDirent);
@@ -94,6 +109,8 @@ void OnlineChecker::apply(const ChangeRecord& record) {
       }
       break;
     case ChangeOp::kHardLink:
+      ensure_vertex(record.parent, ObjectKind::kDirectory);
+      ensure_vertex(record.target, ObjectKind::kFile);
       graph_.add_edge(record.parent, record.target, EdgeKind::kDirent);
       graph_.add_edge(record.target, record.parent, EdgeKind::kLinkEa);
       break;
@@ -124,6 +141,60 @@ std::size_t OnlineChecker::catch_up() {
   return records.size();
 }
 
+void OnlineChecker::add_claim(const Fid& fid, std::size_t server,
+                              std::uint64_t ino) {
+  auto& claims = claimants_[fid];
+  for (const SlotRef& claim : claims) {
+    if (claim.server == server && claim.ino == ino) return;
+  }
+  claims.push_back({server, ino});
+}
+
+void OnlineChecker::drop_claim(const Fid& fid, std::size_t server,
+                               std::uint64_t ino) {
+  const auto it = claimants_.find(fid);
+  if (it == claimants_.end()) return;
+  auto& claims = it->second;
+  for (auto claim = claims.begin(); claim != claims.end(); ++claim) {
+    if (claim->server == server && claim->ino == ino) {
+      claims.erase(claim);
+      break;
+    }
+  }
+}
+
+void OnlineChecker::refresh_identity(const Fid& fid) {
+  const auto it = claimants_.find(fid);
+  if (it != claimants_.end()) {
+    auto& claims = it->second;
+    std::vector<std::pair<Fid, EdgeKind>> merged;
+    ObjectKind kind = ObjectKind::kPhantom;
+    bool have_kind = false;
+    for (auto claim = claims.begin(); claim != claims.end();) {
+      const Inode* inode = image_of(claim->server).find(claim->ino);
+      if (inode == nullptr || inode->lma_fid != fid) {
+        // The slot moved on since this claim was recorded; prune it.
+        claim = claims.erase(claim);
+        continue;
+      }
+      if (!have_kind) {
+        kind = kind_of(*inode);
+        have_kind = true;
+      }
+      auto edges = edges_of(*inode);
+      merged.insert(merged.end(), edges.begin(), edges.end());
+      ++claim;
+    }
+    if (!claims.empty()) {
+      graph_.replace_object(fid, kind, std::move(merged),
+                            static_cast<std::uint32_t>(claims.size()));
+      return;
+    }
+    claimants_.erase(it);
+  }
+  graph_.remove_vertex(fid);
+}
+
 bool OnlineChecker::scrub_slot(std::size_t server, std::uint64_t ino) {
   const LdiskfsImage& image = image_of(server);
   auto& seen = last_seen_[server];
@@ -133,19 +204,24 @@ bool OnlineChecker::scrub_slot(std::size_t server, std::uint64_t ino) {
   const Inode* inode = image.find(ino);
   const Fid previous = seen[ino - 1];
   if (inode == nullptr) {
-    // Slot is free now; drop whatever we believed lived here.
+    // Slot is free now; drop this slot's claim on whatever we believed
+    // lived here (the identity survives if another slot still claims
+    // it — e.g. the genuine twin of a duplicated id).
     if (!previous.is_null()) {
-      graph_.remove_vertex(previous);
+      drop_claim(previous, server, ino);
+      refresh_identity(previous);
       seen[ino - 1] = kNullFid;
     }
     return false;
   }
   if (!previous.is_null() && previous != inode->lma_fid) {
-    // The id changed under us (corruption or repair): retire the stale
-    // identity so the new one stands alone.
-    graph_.remove_vertex(previous);
+    // The id changed under us (corruption or repair): retire this
+    // slot's claim on the stale identity.
+    drop_claim(previous, server, ino);
+    refresh_identity(previous);
   }
-  graph_.replace_object(inode->lma_fid, kind_of(*inode), edges_of(*inode));
+  add_claim(inode->lma_fid, server, ino);
+  refresh_identity(inode->lma_fid);
   seen[ino - 1] = inode->lma_fid;
   return true;
 }

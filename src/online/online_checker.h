@@ -94,7 +94,28 @@ class OnlineChecker {
   }
 
  private:
+  /// A raw inode slot (server index, 1-based ino) observed to carry a
+  /// given identity. Several slots can claim the same fid — that is
+  /// exactly the Double Reference / duplicate-id corruption — and the
+  /// graph vertex must then hold the *union* of all claimants' edges,
+  /// matching what the offline merge of per-inode partial graphs
+  /// produces. A fid-keyed overwrite would collapse the claimants and
+  /// destroy the duplicate-id evidence.
+  struct SlotRef {
+    std::size_t server = 0;
+    std::uint64_t ino = 0;
+  };
+
   void apply(const ChangeRecord& record);
+  /// Re-materializes a changelog-record endpoint the graph no longer
+  /// knows (retired by the scrubber after id corruption, then restored
+  /// by a raw repair that bypasses the changelog).
+  void ensure_vertex(const Fid& fid, ObjectKind kind);
+  void add_claim(const Fid& fid, std::size_t server, std::uint64_t ino);
+  void drop_claim(const Fid& fid, std::size_t server, std::uint64_t ino);
+  /// Rebuilds `fid`'s graph entry from every slot still claiming it
+  /// (pruning stale claims); removes the vertex when no claims remain.
+  void refresh_identity(const Fid& fid);
   /// Refreshes one raw inode slot on server `server` (MDTs first, then
   /// OSTs). Returns true if a live inode was refreshed.
   bool scrub_slot(std::size_t server, std::uint64_t ino);
@@ -126,6 +147,9 @@ class OnlineChecker {
   std::size_t scrub_server_ = 0;
   std::uint64_t scrub_ino_ = 1;
   std::vector<std::vector<Fid>> last_seen_;  // [server][ino-1]
+  // Which raw slots currently claim each identity (normally exactly
+  // one; duplicate-id corruption makes it several).
+  std::unordered_map<Fid, std::vector<SlotRef>, FidHash> claimants_;
 
   // Previous check's converged ranks, keyed by FID, for warm starts.
   std::unordered_map<Fid, std::pair<double, double>, FidHash> last_ranks_;

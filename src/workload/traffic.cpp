@@ -1,0 +1,100 @@
+#include "workload/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace faultyrank {
+
+namespace {
+
+/// Standard-normal sample (Box–Muller), same idiom as namespace_gen.
+double sample_normal(Rng& rng) {
+  double u1 = rng.uniform();
+  if (u1 < 1e-12) u1 = 1e-12;
+  const double u2 = rng.uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace
+
+TrafficDriver::TrafficDriver(LustreCluster& cluster, TrafficConfig config)
+    : cluster_(cluster), config_(config), rng_(config.seed) {
+  users_.resize(config_.users);
+  for (std::size_t u = 0; u < users_.size(); ++u) {
+    User& user = users_[u];
+    user.home = cluster_.mkdir_p("/soak/u" + std::to_string(u));
+    user.dirs.push_back(user.home);
+    stats_.attempted += 1;
+    stats_.succeeded += 1;
+    stats_.mkdirs += 1;
+    stats_.sim_seconds += config_.per_op_seconds;
+  }
+}
+
+std::uint64_t TrafficDriver::sample_size() {
+  const double log_size =
+      config_.log_size_mu + config_.log_size_sigma * sample_normal(rng_);
+  const double size = std::exp(log_size);
+  return static_cast<std::uint64_t>(
+      std::clamp(size, 1.0, 1024.0 * 1024 * 1024 * 1024));
+}
+
+void TrafficDriver::run_one() {
+  User& user = users_[rng_.below(users_.size())];
+  const double total = config_.mkdir_weight + config_.create_weight +
+                       config_.link_weight + config_.unlink_weight;
+  double draw = rng_.uniform() * total;
+  stats_.attempted += 1;
+  stats_.sim_seconds += config_.per_op_seconds;
+  try {
+    if ((draw -= config_.mkdir_weight) < 0) {
+      const Fid parent = user.dirs[rng_.below(user.dirs.size())];
+      const Fid dir =
+          cluster_.mkdir(parent, "d" + std::to_string(user.next_id++));
+      user.dirs.push_back(dir);
+      stats_.mkdirs += 1;
+    } else if ((draw -= config_.create_weight) < 0) {
+      const Fid parent = user.dirs[rng_.below(user.dirs.size())];
+      const std::string name = "f" + std::to_string(user.next_id++);
+      const Fid fid =
+          cluster_.create_file(parent, name, sample_size(), config_.stripe);
+      user.files.push_back({parent, name, fid});
+      stats_.creates += 1;
+    } else if ((draw -= config_.link_weight) < 0) {
+      if (user.files.empty()) {
+        stats_.failed += 1;  // nothing to link yet — counts as a miss
+        return;
+      }
+      const FileEntry& target = user.files[rng_.below(user.files.size())];
+      const Fid parent = user.dirs[rng_.below(user.dirs.size())];
+      const std::string name = "l" + std::to_string(user.next_id++);
+      cluster_.link(target.fid, parent, name);
+      user.files.push_back({parent, name, target.fid});
+      stats_.links += 1;
+    } else {
+      if (user.files.empty()) {
+        stats_.failed += 1;
+        return;
+      }
+      const std::size_t pick = rng_.below(user.files.size());
+      const FileEntry entry = user.files[pick];
+      user.files.erase(user.files.begin() +
+                       static_cast<std::ptrdiff_t>(pick));
+      cluster_.unlink(entry.parent, entry.name);
+      stats_.unlinks += 1;
+    }
+    stats_.succeeded += 1;
+  } catch (const ClusterError&) {
+    // Corrupted / repaired state under this path: the app sees EIO and
+    // moves on. The name bookkeeping above may now be stale for this
+    // entry; later ops on it fail the same harmless way.
+    stats_.failed += 1;
+  }
+}
+
+std::size_t TrafficDriver::step(std::size_t ops) {
+  for (std::size_t i = 0; i < ops; ++i) run_one();
+  return ops;
+}
+
+}  // namespace faultyrank

@@ -1,0 +1,94 @@
+// Sustained-operation traffic driver for the cluster-life soak harness.
+//
+// namespace_gen populates a cluster once; this module keeps it *alive*:
+// a fixed crew of simulated users issues a seeded stream of logical
+// namespace operations (mkdir / create / hard-link / unlink) through
+// the cluster API, so every op lands in the ChangeLog exactly as a
+// mounted client's would. Ops that hit corrupted or repaired state may
+// fail with ClusterError — the driver counts those as failed (the
+// EIO a real application would see) and keeps going, because a soak
+// run's whole point is traffic continuing while the checker works.
+//
+// Determinism: all randomness flows through one Rng seeded from
+// TrafficConfig::seed, so a (seed, op-count) pair replays the exact
+// same op sequence against the same starting cluster.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "pfs/cluster.h"
+
+namespace faultyrank {
+
+struct TrafficConfig {
+  std::uint64_t seed = 0x50a7ULL;
+  /// Concurrent simulated users; each owns a home tree under /soak.
+  std::size_t users = 8;
+  /// Relative op-mix weights (normalized internally).
+  double mkdir_weight = 0.08;
+  double create_weight = 0.55;
+  double link_weight = 0.07;
+  double unlink_weight = 0.30;
+  /// Virtual seconds charged per issued op (client RPC + MDS service);
+  /// sets the sustained ops/sec baseline the checker competes with.
+  double per_op_seconds = 2e-3;
+  /// Log-normal file-size parameters (same calibration as
+  /// NamespaceConfig).
+  double log_size_mu = 12.54;
+  double log_size_sigma = 1.22;
+  /// Striping for created files.
+  StripePolicy stripe{64 * 1024, -1};
+};
+
+struct TrafficStats {
+  std::uint64_t attempted = 0;
+  std::uint64_t succeeded = 0;
+  /// Ops rejected by the filesystem (ClusterError — the simulated
+  /// EIO/ENOENT an application would see against corrupted state).
+  std::uint64_t failed = 0;
+  std::uint64_t mkdirs = 0;
+  std::uint64_t creates = 0;
+  std::uint64_t links = 0;
+  std::uint64_t unlinks = 0;
+  /// Virtual seconds consumed by the stream so far.
+  double sim_seconds = 0.0;
+};
+
+class TrafficDriver {
+ public:
+  /// Creates each user's home directory immediately (counted in stats).
+  TrafficDriver(LustreCluster& cluster, TrafficConfig config);
+
+  /// Issues `ops` operations round-robin-ish over the users (the acting
+  /// user is drawn per op). Returns ops attempted (== `ops`).
+  std::size_t step(std::size_t ops);
+
+  [[nodiscard]] const TrafficStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct FileEntry {
+    Fid parent;
+    std::string name;
+    Fid fid;
+  };
+  struct User {
+    Fid home;
+    std::vector<Fid> dirs;         ///< candidate parents (home included)
+    std::vector<FileEntry> files;  ///< live names this user created
+    std::uint64_t next_id = 0;     ///< monotonically unique name suffix
+  };
+
+  void run_one();
+  std::uint64_t sample_size();
+
+  LustreCluster& cluster_;
+  TrafficConfig config_;
+  Rng rng_;
+  std::vector<User> users_;
+  TrafficStats stats_;
+};
+
+}  // namespace faultyrank

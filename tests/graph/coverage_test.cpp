@@ -1,0 +1,75 @@
+// CoverageInfo: the sorted lost-sequence set must agree with a naive
+// linear reference for every query, and add_lost_sequence must keep
+// the vector sorted + deduplicated regardless of insertion order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/coverage.h"
+
+namespace faultyrank {
+namespace {
+
+/// The pre-optimization reference: linear membership scan.
+bool fid_lost_reference(const std::vector<std::uint64_t>& lost,
+                        const std::unordered_set<Fid, FidHash>& quarantined,
+                        const Fid& fid) {
+  if (fid.is_null()) return false;
+  for (const std::uint64_t seq : lost) {
+    if (seq == fid.seq) return true;
+  }
+  return quarantined.contains(fid);
+}
+
+TEST(CoverageTest, AddLostSequenceKeepsVectorSortedAndUnique) {
+  CoverageInfo info;
+  for (const std::uint64_t seq : {9u, 3u, 7u, 3u, 1u, 9u, 5u, 1u}) {
+    info.add_lost_sequence(seq);
+  }
+  EXPECT_EQ(info.lost_sequences,
+            (std::vector<std::uint64_t>{1, 3, 5, 7, 9}));
+  EXPECT_TRUE(std::is_sorted(info.lost_sequences.begin(),
+                             info.lost_sequences.end()));
+}
+
+TEST(CoverageTest, FidLostMatchesLinearReferenceOnRandomSets) {
+  Rng rng(0xc0ffee);
+  for (int round = 0; round < 20; ++round) {
+    CoverageInfo info;
+    std::vector<std::uint64_t> reference_lost;
+    const std::size_t lost_count = 1 + rng.below(40);
+    for (std::size_t i = 0; i < lost_count; ++i) {
+      const std::uint64_t seq = 0x200000400ULL + rng.below(200);
+      info.add_lost_sequence(seq);
+      reference_lost.push_back(seq);
+    }
+    for (std::size_t i = 0; i < 10; ++i) {
+      info.quarantined.insert(
+          Fid{0x200000400ULL + rng.below(200),
+          static_cast<std::uint32_t>(rng.below(1u << 20)), 0});
+    }
+
+    for (std::size_t q = 0; q < 400; ++q) {
+      Fid probe{0x200000400ULL + rng.below(220),
+                static_cast<std::uint32_t>(rng.below(1u << 20)), 0};
+      if (rng.chance(0.05)) probe = kNullFid;
+      EXPECT_EQ(info.fid_lost(probe),
+                fid_lost_reference(reference_lost, info.quarantined, probe))
+          << "seq=" << probe.seq << " oid=" << probe.oid;
+    }
+  }
+}
+
+TEST(CoverageTest, CompleteOnlyWhenNothingWasLost) {
+  CoverageInfo info;
+  EXPECT_TRUE(info.complete());
+  info.add_lost_sequence(42);
+  EXPECT_FALSE(info.complete());
+  EXPECT_TRUE(info.fid_lost(Fid{42, 1, 0}));
+  EXPECT_FALSE(info.fid_lost(Fid{41, 1, 0}));
+}
+
+}  // namespace
+}  // namespace faultyrank

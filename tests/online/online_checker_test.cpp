@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "aggregator/aggregator.h"
+#include "checker/repair_executor.h"
 #include "faults/injector.h"
 #include "scanner/scanner.h"
 #include "testing/fixtures.h"
@@ -285,6 +286,103 @@ TEST(OnlineCheckerTest, NoOpScrubKeepsPlanCached) {
 
   checker.bootstrap();  // a re-bootstrap always drops the cache
   EXPECT_FALSE(checker.check().plan_reused);
+}
+
+TEST(OnlineCheckerTest, PlanNotReusedOnceScrubSeesCorruption) {
+  // Regression for the plan-reuse × scrub interleaving: a corrupted EA
+  // is invisible to the changelog, so a catch_up-only check may validly
+  // reuse its cached plan and miss it — but the check after the scrub
+  // reaches the corrupt inode MUST re-freeze and convict. A cached
+  // plan surviving a graph-changing scrub would report "consistent"
+  // forever.
+  LustreCluster cluster = testing::make_populated_cluster(120, 75);
+  ChangeLog log;
+  cluster.attach_changelog(&log);
+  OnlineChecker checker(cluster);
+  checker.bootstrap();
+  (void)checker.check();  // prime the snapshot + plan cache
+
+  FaultInjector injector(cluster, 7575);
+  const GroundTruth truth = injector.inject(Scenario::kMismatchTargetProperty);
+
+  EXPECT_EQ(checker.catch_up(), 0u);  // raw corruption, no records
+  const OnlineCheckResult before_scrub = checker.check();
+  EXPECT_TRUE(before_scrub.plan_reused);
+  EXPECT_TRUE(before_scrub.report.consistent());
+
+  checker.full_scrub();
+  const OnlineCheckResult after_scrub = checker.check();
+  EXPECT_FALSE(after_scrub.plan_reused);
+  EXPECT_FALSE(after_scrub.report.consistent());
+  EXPECT_TRUE(evaluate_report(after_scrub.report, truth).detected);
+}
+
+TEST(OnlineCheckerTest, CatchUpToleratesRepairRestoredIdentity) {
+  // Regression for the repair × changelog interleaving: scrubbing a
+  // corrupted directory id retires its vertex; the repair then restores
+  // the id through the raw image (bypassing the changelog); traffic
+  // creating under the restored directory logs records whose parent
+  // the graph no longer knows. catch_up must re-materialize the
+  // endpoint, not throw.
+  LustreCluster cluster = testing::make_populated_cluster(120, 76);
+  ChangeLog log;
+  cluster.attach_changelog(&log);
+  OnlineChecker checker(cluster);
+  checker.bootstrap();
+
+  FaultInjector injector(cluster, 7676);
+  const GroundTruth truth = injector.inject(Scenario::kUnreferencedTargetId);
+  checker.full_scrub();
+  EXPECT_FALSE(checker.graph().contains(truth.victim));
+
+  const OnlineCheckResult detected = checker.check();
+  ASSERT_FALSE(detected.report.consistent());
+  RepairExecutor executor(cluster);
+  executor.apply_all(detected.report.repair_plan());
+
+  // The directory answers to its original id again; new children log
+  // changelog records referencing a fid the graph retired.
+  const Fid child = cluster.create_file(truth.victim, "post_repair", 64 * 1024);
+  EXPECT_NO_THROW(checker.catch_up());
+  EXPECT_TRUE(checker.graph().contains(child));
+
+  checker.full_scrub();
+  EXPECT_TRUE(checker.check().report.consistent());
+}
+
+TEST(OnlineCheckerTest, DuplicateIdDetectionMatchesOffline) {
+  // Regression for the duplicate-id collapse: two physical inodes
+  // sharing one fid must appear in the frozen snapshot with the union
+  // of both edge sets AND a scan count > 1, exactly as the offline
+  // merge of per-inode partials produces — otherwise the Double
+  // Reference conviction (and its id-overwrite repair) is lost.
+  LustreCluster cluster = testing::make_populated_cluster(150, 77);
+  ChangeLog log;
+  cluster.attach_changelog(&log);
+  FaultInjector injector(cluster, 7777);
+  const GroundTruth truth = injector.inject(Scenario::kDoubleRefDuplicateId);
+
+  OnlineChecker checker(cluster);
+  checker.bootstrap();
+  const UnifiedGraph online = checker.graph().freeze();
+  const AggregationResult offline = aggregate(scan_cluster(cluster).results);
+  EXPECT_EQ(online.vertex_count(), offline.graph.vertex_count());
+  EXPECT_EQ(online.edge_count(), offline.graph.edge_count());
+  const Gid dup = online.vertices().lookup(truth.current);
+  ASSERT_NE(dup, kInvalidGid);
+  EXPECT_GT(online.vertices().scan_count(dup), 1u);
+
+  const OnlineCheckResult result = checker.check();
+  const EvalOutcome outcome = evaluate_report(result.report, truth);
+  EXPECT_TRUE(outcome.detected);
+  EXPECT_TRUE(outcome.repair_recommended);
+
+  // After the repair splits the twins apart, the scrub must dissolve
+  // the shared claim and the graph must check clean.
+  RepairExecutor executor(cluster);
+  executor.apply_all(result.report.repair_plan());
+  checker.full_scrub();
+  EXPECT_TRUE(checker.check().report.consistent());
 }
 
 TEST(OnlineCheckerTest, PooledCheckMatchesSerialCheck) {

@@ -5,11 +5,13 @@
 
 #include <bit>
 #include <filesystem>
+#include <limits>
 
 #include "aggregator/aggregator.h"
 #include "aggregator/checkpoint.h"
 #include "common/thread_pool.h"
 #include "core/faultyrank.h"
+#include "pfs/changelog.h"
 #include "pfs/persistence.h"
 #include "testing/fixtures.h"
 
@@ -22,6 +24,7 @@ std::string temp_path(const char* name) {
 
 ScanCheckpoint make_checkpoint(const LustreCluster& cluster) {
   ScanCheckpoint ckpt;
+  ckpt.epoch = 0x5ca1ab1e;
   ckpt.labels = {"mds0", "oss0", "oss1"};
   ckpt.results.resize(3);
   ckpt.results[0] = scan_mdt(cluster.mdt());
@@ -36,6 +39,7 @@ TEST(CheckpointTest, SerializationRoundTripsEveryField) {
 
   const ScanCheckpoint loaded =
       deserialize_checkpoint(serialize_checkpoint(ckpt));
+  EXPECT_EQ(loaded.epoch, ckpt.epoch);
   EXPECT_EQ(loaded.labels, ckpt.labels);
   ASSERT_EQ(loaded.results.size(), 3u);
   EXPECT_TRUE(loaded.results[0].has_value());
@@ -167,6 +171,165 @@ TEST(CheckpointResumeTest, ResumedRunReproducesRanksBitForBit) {
               std::bit_cast<std::uint64_t>(ranks_ref.prop_rank[v]));
   }
   std::filesystem::remove(path);
+}
+
+TEST(CheckpointResumeTest, StaleCheckpointFromMutatedClusterIsDiscarded) {
+  // Regression for the checkpoint × mutation interleaving: a checkpoint
+  // written before the cluster changed must NOT be resumed — prefilling
+  // its scans would merge two points in time into one graph and every
+  // edge into the stale region would read as a phantom inconsistency.
+  // The epoch (here: the changelog cursor at scan start) is the
+  // staleness fingerprint.
+  LustreCluster cluster = testing::make_populated_cluster(120, 46, 4);
+  ChangeLog log;
+  cluster.attach_changelog(&log);
+  const std::string path = temp_path("ckpt_stale_epoch.frcp");
+  std::filesystem::remove(path);
+
+  OpFaultConfig fault_config;
+  fault_config.seed = 46;
+  {
+    OpFaultSchedule faults(fault_config);
+    PipelineConfig config;
+    config.faults = &faults;
+    config.checkpoint_path = path;
+    config.checkpoint_epoch = log.next_index();
+    config.interrupt_after_servers = 2;
+    EXPECT_THROW((void)scan_and_aggregate(cluster, config),
+                 PipelineInterrupted);
+  }
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  // The filesystem moves on while the checker is down.
+  cluster.create_file(cluster.root(), "while_you_were_out", 128 * 1024);
+
+  PipelineResult resumed;
+  {
+    OpFaultSchedule faults(fault_config);
+    PipelineConfig config;
+    config.faults = &faults;
+    config.checkpoint_path = path;
+    config.checkpoint_epoch = log.next_index();  // epoch moved on too
+    resumed = scan_and_aggregate(cluster, config);
+  }
+  EXPECT_TRUE(resumed.checkpoint_discarded);
+  EXPECT_EQ(resumed.servers_resumed, 0u);
+
+  // The full rescan matches a from-scratch run of the mutated cluster.
+  const PipelineResult fresh = scan_and_aggregate(cluster, PipelineConfig{});
+  EXPECT_EQ(resumed.agg.graph.vertex_count(),
+            fresh.agg.graph.vertex_count());
+  EXPECT_EQ(resumed.agg.graph.edge_count(), fresh.agg.graph.edge_count());
+  EXPECT_TRUE(resumed.agg.coverage.complete());
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointResumeTest, SameEpochResumeIsNotDiscarded) {
+  LustreCluster cluster = testing::make_populated_cluster(100, 47, 4);
+  ChangeLog log;
+  cluster.attach_changelog(&log);
+  const std::string path = temp_path("ckpt_same_epoch.frcp");
+  std::filesystem::remove(path);
+
+  OpFaultConfig fault_config;
+  OpFaultSchedule faults(fault_config);
+  PipelineConfig config;
+  config.faults = &faults;
+  config.checkpoint_path = path;
+  config.checkpoint_epoch = log.next_index();
+  config.interrupt_after_servers = 2;
+  EXPECT_THROW((void)scan_and_aggregate(cluster, config),
+               PipelineInterrupted);
+
+  config.interrupt_after_servers = std::numeric_limits<std::size_t>::max();
+  const PipelineResult resumed = scan_and_aggregate(cluster, config);
+  EXPECT_FALSE(resumed.checkpoint_discarded);
+  EXPECT_EQ(resumed.servers_resumed, 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointResumeTest, ResumeWithLatchedCrashMatchesFreshFaultyRun) {
+  // Regression for the checkpoint × fault-schedule interleaving: a run
+  // that is interrupted, then resumed *in-process* (same schedule
+  // object, so a crashed server's latch is still set) must agree with
+  // an uninterrupted run under the same fault config on everything
+  // that feeds detection — ranks bit for bit AND the CoverageInfo
+  // (lost sequences, quarantined inodes, coverage fraction).
+  const LustreCluster cluster = testing::make_populated_cluster(150, 48, 4);
+  const std::string path = temp_path("ckpt_crash_resume.frcp");
+  std::filesystem::remove(path);
+
+  OpFaultConfig fault_config;
+  fault_config.seed = 48;
+  fault_config.transient_eio_rate = 0.08;
+  fault_config.crash_after_reads["oss2"] = 20;
+
+  PipelineResult reference;
+  {
+    OpFaultSchedule faults(fault_config);
+    PipelineConfig config;
+    config.faults = &faults;
+    reference = scan_and_aggregate(cluster, config);
+  }
+  ASSERT_EQ(reference.failed_servers,
+            std::vector<std::string>{"oss2"});
+
+  PipelineResult resumed;
+  {
+    OpFaultSchedule faults(fault_config);  // one schedule, both runs
+    PipelineConfig config;
+    config.faults = &faults;
+    config.checkpoint_path = path;
+    config.interrupt_after_servers = 2;
+    EXPECT_THROW((void)scan_and_aggregate(cluster, config),
+                 PipelineInterrupted);
+    config.interrupt_after_servers = std::numeric_limits<std::size_t>::max();
+    resumed = scan_and_aggregate(cluster, config);
+  }
+  EXPECT_EQ(resumed.failed_servers, reference.failed_servers);
+  EXPECT_EQ(resumed.agg.coverage.coverage, reference.agg.coverage.coverage);
+  EXPECT_EQ(resumed.agg.coverage.lost_sequences,
+            reference.agg.coverage.lost_sequences);
+  EXPECT_EQ(resumed.agg.coverage.quarantined,
+            reference.agg.coverage.quarantined);
+  ASSERT_EQ(resumed.agg.graph.vertex_count(),
+            reference.agg.graph.vertex_count());
+  ASSERT_EQ(resumed.agg.graph.edge_count(), reference.agg.graph.edge_count());
+
+  const FaultyRankResult ranks_ref = run_faultyrank(reference.agg.graph);
+  const FaultyRankResult ranks_res = run_faultyrank(resumed.agg.graph);
+  ASSERT_EQ(ranks_res.id_rank.size(), ranks_ref.id_rank.size());
+  for (std::size_t v = 0; v < ranks_ref.id_rank.size(); ++v) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(ranks_res.id_rank[v]),
+              std::bit_cast<std::uint64_t>(ranks_ref.id_rank[v]));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(ranks_res.prop_rank[v]),
+              std::bit_cast<std::uint64_t>(ranks_ref.prop_rank[v]));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(OpFaultsTest, ReviveClearsTheCrashLatch) {
+  // revive() models the operator bringing a dead server back: the latch
+  // clears, the crash point is consumed, and a rescan completes.
+  OpFaultConfig config;
+  config.crash_after_reads["oss0"] = 2;
+  OpFaultSchedule faults(config);
+  ServerFaultSchedule& server = faults.server("oss0");
+
+  server.begin_scan();
+  EXPECT_NO_THROW(server.on_read());
+  EXPECT_NO_THROW(server.on_read());
+  EXPECT_THROW(server.on_read(), ServerCrashError);
+  EXPECT_TRUE(server.down());
+
+  // A rescan without revive stays dead (the latch survives begin_scan).
+  server.begin_scan();
+  EXPECT_THROW(server.on_read(), ServerCrashError);
+
+  server.revive();
+  EXPECT_FALSE(server.down());
+  server.begin_scan();
+  for (int i = 0; i < 10; ++i) EXPECT_NO_THROW(server.on_read());
 }
 
 }  // namespace
