@@ -36,14 +36,19 @@ run cmake --build --preset ubsan -j "${JOBS}"
 run ctest --preset ubsan -j "${JOBS}"
 
 # 4. Static analysis: fr_lint house rules, then the fr_analyze
-#    cross-file passes (lock-order cycles, sim-time discipline,
-#    determinism of parallel reductions) — self-test first so the
-#    fixture proofs gate before the tree run, then the annotation
-#    coverage baseline. Explicit invocations for a readable tail even
-#    though the default suite already gates on all of it.
+#    cross-file passes (direct + call-chain-induced lock-order cycles,
+#    sim-time discipline, determinism of parallel reductions and
+#    unordered-iteration taint, blocking-under-lock, FR_GUARDED_BY
+#    coverage) — self-test first so the fixture proofs gate before the
+#    tree run. The tree run diffs against the committed findings
+#    baseline: known findings are tolerated, any new one fails. Then
+#    the annotation coverage baseline. Explicit invocations for a
+#    readable tail even though the default suite already gates on all
+#    of it.
 run ./build/tools/fr_lint src bench
 run ./build/tools/fr_analyze --self-test tools/fr_analyze_fixtures
-run ./build/tools/fr_analyze src bench tools
+run ./build/tools/fr_analyze \
+  --baseline tools/analysis/findings_baseline.json src bench tools
 run ./build/tools/fr_analyze --coverage \
   --baseline tools/analysis/coverage_baseline.txt src
 

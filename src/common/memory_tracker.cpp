@@ -35,7 +35,7 @@ std::uint64_t rss_bytes() { return read_status_kb("VmRSS"); }
 std::uint64_t peak_rss_bytes() { return read_status_kb("VmHWM"); }
 
 namespace {
-Mutex g_phase_mutex;
+Mutex g_phase_mutex{"memory_tracker::g_phase_mutex"};
 std::vector<MemoryPhase>& phase_log() FR_REQUIRES(g_phase_mutex) {
   // Function-local so the registry works during static init/teardown.
   static std::vector<MemoryPhase> log;

@@ -92,7 +92,7 @@ class ChangeLog {
   void purge_below(std::uint64_t cursor);
 
  private:
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"ChangeLog::mutex_"};
   std::vector<ChangeRecord> records_ FR_GUARDED_BY(mutex_);
   std::uint64_t next_index_ FR_GUARDED_BY(mutex_) = 0;
 };

@@ -167,7 +167,11 @@ void LdiskfsImage::serialize(ByteWriter& w) const {
   for (const std::uint64_t ino : free_list_) w.put(ino);
   w.put(in_use_count_);
   w.put(static_cast<std::uint64_t>(oi_.size()));
-  for (const auto& [fid, ino] : oi_) {
+  // The OI table lives in hash order (seed/address dependent); images
+  // must be byte-identical across runs, so serialize in Fid order.
+  std::vector<std::pair<Fid, std::uint64_t>> oi_sorted(oi_.begin(), oi_.end());
+  std::sort(oi_sorted.begin(), oi_sorted.end());
+  for (const auto& [fid, ino] : oi_sorted) {
     put_fid(w, fid);
     w.put(ino);
   }

@@ -1,0 +1,105 @@
+// Baseline-diff gate (analysis/baseline.h): write/load round-trip
+// including escaped characters, and the multiset diff semantics
+// (budgeted absorption, fresh findings, stale entries).
+#include "analysis/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fr_analysis {
+namespace {
+
+Violation make_violation(std::string rule, std::string file,
+                         std::string fingerprint) {
+  Violation v;
+  v.rule = std::move(rule);
+  v.file = std::move(file);
+  v.line = 7;
+  v.message = "msg";
+  v.fingerprint = std::move(fingerprint);
+  return v;
+}
+
+TEST(BaselineTest, WriteThenLoadRoundTrips) {
+  const std::string path = ::testing::TempDir() + "fr_baseline_roundtrip.json";
+  const std::vector<Violation> findings = {
+      make_violation("blocking-under-lock", "src/common/logging.cpp",
+                     "blocking-under-lock|src/common/logging.cpp|log"),
+      make_violation("determinism-taint", "src/pfs/ldiskfs.cpp",
+                     "determinism-taint|has \"quotes\"|and\\slash\n"),
+  };
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  ASSERT_NE(out, nullptr);
+  write_baseline(out, findings);
+  std::fclose(out);
+
+  std::vector<BaselineEntry> loaded;
+  ASSERT_TRUE(load_baseline(path, &loaded));
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].fingerprint, findings[0].fingerprint);
+  EXPECT_EQ(loaded[0].rule, "blocking-under-lock");
+  EXPECT_EQ(loaded[0].file, "src/common/logging.cpp");
+  EXPECT_EQ(loaded[1].fingerprint, findings[1].fingerprint)
+      << "escaped quote/backslash/newline must survive the round trip";
+  std::remove(path.c_str());
+}
+
+TEST(BaselineTest, MissingFileFailsToLoad) {
+  std::vector<BaselineEntry> loaded;
+  EXPECT_FALSE(
+      load_baseline(::testing::TempDir() + "fr_no_such_baseline", &loaded));
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(BaselineTest, DiffSeparatesFreshAndStale) {
+  const std::vector<Violation> findings = {
+      make_violation("rule-a", "a.cpp", "fp-known"),
+      make_violation("rule-b", "b.cpp", "fp-new"),
+  };
+  const std::vector<BaselineEntry> baseline = {
+      {"fp-known", "rule-a", "a.cpp"},
+      {"fp-gone", "rule-c", "c.cpp"},
+  };
+  const BaselineDiff diff = diff_baseline(findings, baseline);
+  ASSERT_EQ(diff.fresh.size(), 1u);
+  EXPECT_EQ(diff.fresh[0].fingerprint, "fp-new");
+  ASSERT_EQ(diff.stale.size(), 1u);
+  EXPECT_EQ(diff.stale[0].fingerprint, "fp-gone");
+}
+
+TEST(BaselineTest, EachBaselineEntryAbsorbsExactlyOneFinding) {
+  // Two findings share a fingerprint; the baseline lists it once, so
+  // one is absorbed and the duplicate is still fresh (multiset diff).
+  const std::vector<Violation> findings = {
+      make_violation("rule-a", "a.cpp", "fp-dup"),
+      make_violation("rule-a", "a.cpp", "fp-dup"),
+  };
+  const std::vector<BaselineEntry> baseline = {{"fp-dup", "rule-a", "a.cpp"}};
+  const BaselineDiff diff = diff_baseline(findings, baseline);
+  ASSERT_EQ(diff.fresh.size(), 1u);
+  EXPECT_EQ(diff.fresh[0].fingerprint, "fp-dup");
+  EXPECT_TRUE(diff.stale.empty());
+
+  // And symmetrically: two baseline entries, one finding -> one stale.
+  const std::vector<BaselineEntry> doubled = {{"fp-dup", "rule-a", "a.cpp"},
+                                              {"fp-dup", "rule-a", "a.cpp"}};
+  const std::vector<Violation> single = {
+      make_violation("rule-a", "a.cpp", "fp-dup")};
+  const BaselineDiff diff2 = diff_baseline(single, doubled);
+  EXPECT_TRUE(diff2.fresh.empty());
+  ASSERT_EQ(diff2.stale.size(), 1u);
+}
+
+TEST(BaselineTest, EmptyBaselineMakesEverythingFresh) {
+  const std::vector<Violation> findings = {
+      make_violation("rule-a", "a.cpp", "fp-1")};
+  const BaselineDiff diff = diff_baseline(findings, {});
+  ASSERT_EQ(diff.fresh.size(), 1u);
+  EXPECT_TRUE(diff.stale.empty());
+}
+
+}  // namespace
+}  // namespace fr_analysis

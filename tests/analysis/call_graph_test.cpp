@@ -1,0 +1,181 @@
+// Cross-TU call-graph construction and resolution (analysis/call_graph.h):
+// definition recognition from statement heads, the three-step lookup
+// (class chain, visible files, unique corpus-wide), TU-local anonymous
+// namespaces, and FR_REQUIRES extraction from definition heads.
+#include "analysis/call_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/include_graph.h"
+#include "analysis/tokenizer.h"
+
+namespace fr_analysis {
+namespace {
+
+struct Corpus {
+  std::vector<SourceFile> files;
+  IncludeGraph includes;
+  CallGraph graph;
+};
+
+Corpus build(std::vector<std::pair<std::string, std::string>> sources) {
+  Corpus corpus;
+  for (auto& [path, text] : sources) {
+    corpus.files.push_back(tokenize_text(path, text));
+  }
+  corpus.includes = IncludeGraph::build(corpus.files);
+  corpus.graph = CallGraph::build(corpus.files, corpus.includes);
+  return corpus;
+}
+
+const CallSite* find_call(const CallGraph& graph, const std::string& caller_id,
+                          const std::string& name) {
+  for (const FunctionDef& def : graph.functions()) {
+    if (def.id != caller_id) continue;
+    for (const CallSite& call : def.calls) {
+      if (call.name == name) return &call;
+    }
+  }
+  return nullptr;
+}
+
+TEST(CallGraphTest, ResolvesFreeFunctionThroughInclude) {
+  const Corpus corpus = build({
+      {"a.h", "inline void helper() {}\n"},
+      {"a.cpp", "#include \"a.h\"\nvoid run() { helper(); }\n"},
+  });
+  const CallSite* call = find_call(corpus.graph, "run", "helper");
+  ASSERT_NE(call, nullptr);
+  EXPECT_EQ(call->callee_id, "helper");
+}
+
+TEST(CallGraphTest, MemberShadowsVisibleFreeFunction) {
+  const Corpus corpus = build({
+      {"shadow.cpp",
+       "void helper() {}\n"
+       "class Widget {\n"
+       " public:\n"
+       "  void helper() {}\n"
+       "  void run() { helper(); }\n"
+       "};\n"},
+  });
+  const CallSite* call = find_call(corpus.graph, "Widget::run", "helper");
+  ASSERT_NE(call, nullptr);
+  EXPECT_EQ(call->callee_id, "Widget::helper");
+}
+
+TEST(CallGraphTest, MethodCallResolvesThroughIncludeGraph) {
+  const Corpus corpus = build({
+      {"widget.h", "struct Widget {\n  void poke() {}\n};\n"},
+      {"user.cpp",
+       "#include \"widget.h\"\nvoid use(Widget& w) { w.poke(); }\n"},
+  });
+  const CallSite* call = find_call(corpus.graph, "use", "poke");
+  ASSERT_NE(call, nullptr);
+  EXPECT_TRUE(call->member_call);
+  EXPECT_EQ(call->callee_id, "Widget::poke");
+}
+
+TEST(CallGraphTest, UniqueCorpusWideFallbackStandsInForDeclarations) {
+  // impl.cpp is not included anywhere; the call still resolves because
+  // the name has exactly one non-TU-local definition in the corpus.
+  const Corpus corpus = build({
+      {"impl.cpp", "void settle() {}\n"},
+      {"caller.cpp", "void settle();\nvoid drive() { settle(); }\n"},
+  });
+  const CallSite* call = find_call(corpus.graph, "drive", "settle");
+  ASSERT_NE(call, nullptr);
+  EXPECT_EQ(call->callee_id, "settle");
+}
+
+TEST(CallGraphTest, AmbiguousNameDoesNotResolve) {
+  const Corpus corpus = build({
+      {"one.h", "struct A {\n  void tick() {}\n};\n"},
+      {"two.h", "struct B {\n  void tick() {}\n};\n"},
+      {"caller.cpp",
+       "#include \"one.h\"\n#include \"two.h\"\n"
+       "void drive(A& a) { a.tick(); }\n"},
+  });
+  const CallSite* call = find_call(corpus.graph, "drive", "tick");
+  ASSERT_NE(call, nullptr);
+  EXPECT_EQ(call->callee_id, "");
+}
+
+TEST(CallGraphTest, AnonymousNamespaceIsTuLocal) {
+  const Corpus corpus = build({
+      {"x.cpp",
+       "namespace {\nvoid scrub() {}\n}\nvoid run_x() { scrub(); }\n"},
+      {"y.cpp", "void run_y() { scrub(); }\n"},
+  });
+  // x.cpp resolves to its own TU-local definition.
+  const CallSite* own = find_call(corpus.graph, "run_x", "scrub");
+  ASSERT_NE(own, nullptr);
+  EXPECT_EQ(own->callee_id, "x.cpp::scrub");
+  // y.cpp cannot see it: TU-local definitions never leak.
+  const CallSite* foreign = find_call(corpus.graph, "run_y", "scrub");
+  ASSERT_NE(foreign, nullptr);
+  EXPECT_EQ(foreign->callee_id, "");
+}
+
+TEST(CallGraphTest, InlineLambdaArgumentIsNotADefinition) {
+  const Corpus corpus = build({
+      {"lam.cpp",
+       "struct Pool {\n  template <typename F> void submit(F&&) {}\n};\n"
+       "void go(Pool& pool) {\n"
+       "  pool.submit([&] {\n    int x = 1;\n  });\n"
+       "}\n"},
+  });
+  for (const FunctionDef& def : corpus.graph.functions()) {
+    EXPECT_NE(def.id, "submit") << "lambda-argument brace misread as a body";
+  }
+}
+
+TEST(CallGraphTest, ExtractsRequiresArgsFromDefinitionHead) {
+  const Corpus corpus = build({
+      {"req.cpp",
+       "int counter;\n"
+       "void bump() FR_REQUIRES(g_mu) { counter = counter + 1; }\n"},
+  });
+  for (const FunctionDef& def : corpus.graph.functions()) {
+    if (def.id != "bump") continue;
+    ASSERT_EQ(def.requires_args.size(), 1u);
+    EXPECT_EQ(def.requires_args[0], "g_mu");
+    return;
+  }
+  FAIL() << "bump not recognized as a definition";
+}
+
+TEST(CallGraphTest, RecursionAndMutualRecursionGetResolved) {
+  const Corpus corpus = build({
+      {"rec.cpp",
+       "void even(int n);\n"
+       "void odd(int n) { even(n - 1); }\n"
+       "void even(int n) { odd(n - 1); }\n"
+       "void self(int n) { self(n - 1); }\n"},
+  });
+  EXPECT_EQ(find_call(corpus.graph, "odd", "even")->callee_id, "even");
+  EXPECT_EQ(find_call(corpus.graph, "even", "odd")->callee_id, "odd");
+  EXPECT_EQ(find_call(corpus.graph, "self", "self")->callee_id, "self");
+}
+
+TEST(CallGraphTest, EnclosingFindsInnermostBody) {
+  const Corpus corpus = build({
+      {"enc.cpp", "void outer() {\n  int x = 0;\n}\n"},
+  });
+  const FunctionDef* outer = nullptr;
+  for (const FunctionDef& def : corpus.graph.functions()) {
+    if (def.id == "outer") outer = &def;
+  }
+  ASSERT_NE(outer, nullptr);
+  const FunctionDef* found =
+      corpus.graph.enclosing("enc.cpp", outer->body_begin + 1);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->id, "outer");
+  EXPECT_EQ(corpus.graph.enclosing("enc.cpp", 0), nullptr);
+}
+
+}  // namespace
+}  // namespace fr_analysis

@@ -1,0 +1,267 @@
+// Per-function summary fixpoint (analysis/summaries.h): fact
+// propagation through recursion, the CondVar released-lock exemption,
+// call-chain-induced lock edges, guarded-write discharge, and the
+// unordered-container declaration table.
+#include "analysis/summaries.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/call_graph.h"
+#include "analysis/include_graph.h"
+#include "analysis/symbols.h"
+#include "analysis/tokenizer.h"
+
+namespace fr_analysis {
+namespace {
+
+// File-scope stand-ins for src/common/mutex.h: the analyzer keys on
+// the spelled type names, and file-scope declarations give lock ids a
+// predictable "<file>::<name>" shape.
+constexpr const char* kSyncHeader =
+    "#pragma once\n"
+    "struct Mutex {\n"
+    "  void lock() {}\n"
+    "  void unlock() {}\n"
+    "};\n"
+    "struct MutexLock {\n"
+    "  explicit MutexLock(Mutex& m) {}\n"
+    "};\n";
+
+struct Corpus {
+  std::vector<SourceFile> files;
+  IncludeGraph includes;
+  SymbolTable symbols;
+  CallGraph graph;
+  Summaries summaries;
+};
+
+Corpus build(std::vector<std::pair<std::string, std::string>> sources) {
+  Corpus corpus;
+  for (auto& [path, text] : sources) {
+    corpus.files.push_back(tokenize_text(path, text));
+  }
+  corpus.includes = IncludeGraph::build(corpus.files);
+  corpus.symbols = SymbolTable::build(corpus.files, corpus.includes);
+  corpus.graph = CallGraph::build(corpus.files, corpus.includes);
+  corpus.summaries = Summaries::build(corpus.files, corpus.graph,
+                                      corpus.symbols, corpus.includes);
+  return corpus;
+}
+
+TEST(SummariesTest, BlockFactsPropagateThroughMutualRecursion) {
+  // ping <-> pong recurse into each other and pong touches fopen; the
+  // fixpoint must terminate and both summaries must carry the fact.
+  const Corpus corpus = build({
+      {"rec.cpp",
+       "#include <cstdio>\n"
+       "void ping(int n);\n"
+       "void pong(int n) {\n"
+       "  std::fopen(\"x\", \"r\");\n"
+       "  ping(n - 1);\n"
+       "}\n"
+       "void ping(int n) { pong(n - 1); }\n"},
+  });
+  const FunctionSummary& pong = corpus.summaries.of("pong");
+  ASSERT_EQ(pong.blocks.size(), 1u);
+  EXPECT_EQ(pong.blocks.begin()->second.what, "fopen");
+  EXPECT_TRUE(pong.blocks.begin()->second.path.empty()) << "direct fact";
+
+  const FunctionSummary& ping = corpus.summaries.of("ping");
+  ASSERT_EQ(ping.blocks.size(), 1u);
+  const BlockFact& inherited = ping.blocks.begin()->second;
+  EXPECT_EQ(inherited.what, "fopen");
+  ASSERT_FALSE(inherited.path.empty()) << "witness chain into pong";
+  EXPECT_NE(inherited.path[0].find("pong"), std::string::npos);
+}
+
+TEST(SummariesTest, UnknownIdYieldsEmptySummary) {
+  const Corpus corpus = build({{"empty.cpp", "void f() {}\n"}});
+  const FunctionSummary& summary = corpus.summaries.of("no_such_function");
+  EXPECT_TRUE(summary.acquires.empty());
+  EXPECT_TRUE(summary.blocks.empty());
+  EXPECT_TRUE(summary.emits.empty());
+  EXPECT_TRUE(summary.writes.empty());
+}
+
+TEST(SummariesTest, EmitFactsPropagateToCallers) {
+  const Corpus corpus = build({
+      {"emit.cpp",
+       "#include <cstdio>\n"
+       "void report() { std::printf(\"x\"); }\n"
+       "void outer() { report(); }\n"},
+  });
+  const FunctionSummary& outer = corpus.summaries.of("outer");
+  ASSERT_EQ(outer.emits.size(), 1u);
+  EXPECT_EQ(outer.emits.begin()->second.what, "printf");
+  EXPECT_FALSE(outer.emits.begin()->second.path.empty());
+}
+
+TEST(SummariesTest, BlockingSiteReportedForCalleeReachedUnderLock) {
+  const Corpus corpus = build({
+      {"sync.h", kSyncHeader},
+      {"flush.cpp",
+       "#include <cstdio>\n"
+       "#include \"sync.h\"\n"
+       "Mutex g_m;\n"
+       "void flush_log() {\n"
+       "  std::FILE* f = std::fopen(\"a.log\", \"a\");\n"
+       "  if (f != nullptr) std::fclose(f);\n"
+       "}\n"
+       "void locked_flush() {\n"
+       "  MutexLock lock(g_m);\n"
+       "  flush_log();\n"
+       "}\n"},
+  });
+  ASSERT_EQ(corpus.summaries.blocking_sites().size(), 1u);
+  const BlockingSite& site = corpus.summaries.blocking_sites()[0];
+  EXPECT_EQ(site.function_id, "locked_flush");
+  EXPECT_EQ(site.held_id, "flush.cpp::g_m");
+  EXPECT_EQ(site.callee_id, "flush_log");
+  EXPECT_EQ(site.file, "flush.cpp");
+  ASSERT_FALSE(site.path.empty());
+  EXPECT_NE(site.path[0].find("flush_log"), std::string::npos);
+}
+
+TEST(SummariesTest, CondVarWaitReleasingTheHeldLockIsExempt) {
+  const Corpus corpus = build({
+      {"sync.h", kSyncHeader},
+      {"wait.cpp",
+       "#include \"sync.h\"\n"
+       "struct Cond {\n"
+       "  void wait(MutexLock& held) {}\n"
+       "};\n"
+       "Mutex g_m;\n"
+       "Cond g_cv;\n"
+       "void park() {\n"
+       "  MutexLock lock(g_m);\n"
+       "  g_cv.wait(lock);\n"
+       "}\n"},
+  });
+  // The wait fact exists (with the released lock recorded) but the
+  // only held lock is the one the wait drops, so no site is reported.
+  const FunctionSummary& park = corpus.summaries.of("park");
+  ASSERT_EQ(park.blocks.size(), 1u);
+  EXPECT_EQ(park.blocks.begin()->second.what, "wait");
+  EXPECT_EQ(park.blocks.begin()->second.released, "wait.cpp::g_m");
+  EXPECT_TRUE(corpus.summaries.blocking_sites().empty());
+}
+
+TEST(SummariesTest, InducedEdgesCloseCrossTuLockChains) {
+  const Corpus corpus = build({
+      {"sync.h", kSyncHeader},
+      {"globals.h",
+       "#pragma once\n#include \"sync.h\"\nMutex g_x;\nMutex g_y;\n"},
+      {"a.cpp",
+       "#include \"globals.h\"\n"
+       "void take_y();\n"
+       "void x_then_y() {\n"
+       "  MutexLock hold(g_x);\n"
+       "  take_y();\n"
+       "}\n"},
+      {"b.cpp",
+       "#include \"globals.h\"\n"
+       "void take_y() {\n"
+       "  MutexLock hold(g_y);\n"
+       "}\n"},
+  });
+  const std::vector<LockEdge>& edges = corpus.summaries.induced_edges();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].from, "globals.h::g_x");
+  EXPECT_EQ(edges[0].to, "globals.h::g_y");
+  EXPECT_FALSE(edges[0].via.empty()) << "witness chain through take_y";
+  EXPECT_NE(edges[0].via.find("take_y"), std::string::npos);
+}
+
+TEST(SummariesTest, GuardedWriteSurvivingToARootIsReported) {
+  const Corpus corpus = build({
+      {"sync.h", kSyncHeader},
+      {"counter.cpp",
+       "#include \"sync.h\"\n"
+       "class Counter {\n"
+       " public:\n"
+       "  void bump_safe() {\n"
+       "    MutexLock lock(mu_);\n"
+       "    ++count_;\n"
+       "  }\n"
+       "  void bump_unsafe() { ++count_; }\n"
+       " private:\n"
+       "  Mutex mu_;\n"
+       "  int count_ FR_GUARDED_BY(mu_);\n"
+       "};\n"},
+  });
+  ASSERT_EQ(corpus.summaries.guarded_fields().size(), 1u);
+  const GuardedField& field = corpus.summaries.guarded_fields()[0];
+  EXPECT_EQ(field.id, "Counter::count_");
+  EXPECT_EQ(field.guard_id, "Counter::mu_");
+
+  ASSERT_EQ(corpus.summaries.unguarded_writes().size(), 1u);
+  const UnguardedWrite& write = corpus.summaries.unguarded_writes()[0];
+  EXPECT_EQ(write.field_id, "Counter::count_");
+  EXPECT_EQ(write.root_id, "Counter::bump_unsafe");
+}
+
+TEST(SummariesTest, GuardedWriteDischargedByLockingCaller) {
+  const Corpus corpus = build({
+      {"sync.h", kSyncHeader},
+      {"gauge.cpp",
+       "#include \"sync.h\"\n"
+       "class Gauge {\n"
+       " public:\n"
+       "  void refresh() {\n"
+       "    MutexLock lock(gmu_);\n"
+       "    touch();\n"
+       "  }\n"
+       " private:\n"
+       "  void touch() { level_ = level_ + 1; }\n"
+       "  Mutex gmu_;\n"
+       "  int level_ FR_GUARDED_BY(gmu_);\n"
+       "};\n"},
+  });
+  // touch() writes bare, but its only caller holds the guard at the
+  // call site, so the obligation never reaches a root.
+  EXPECT_TRUE(corpus.summaries.unguarded_writes().empty());
+}
+
+TEST(SummariesTest, RequiresAnnotationCountsAsHoldingTheGuard) {
+  const Corpus corpus = build({
+      {"sync.h", kSyncHeader},
+      {"req.cpp",
+       "#include \"sync.h\"\n"
+       "Mutex g_m;\n"
+       "int g_v FR_GUARDED_BY(g_m);\n"
+       "void set_v(int v) FR_REQUIRES(g_m) { g_v = v; }\n"},
+  });
+  ASSERT_EQ(corpus.summaries.guarded_fields().size(), 1u);
+  EXPECT_EQ(corpus.summaries.guarded_fields()[0].id, "req.cpp::g_v");
+  EXPECT_TRUE(corpus.summaries.unguarded_writes().empty());
+}
+
+TEST(SummariesTest, UnorderedDeclsAreCollectedAndResolvable) {
+  const Corpus corpus = build({
+      {"tab.h",
+       "#pragma once\n"
+       "#include <unordered_map>\n"
+       "#include <unordered_set>\n"
+       "std::unordered_map<int, long> g_weights;\n"
+       "class Index {\n"
+       "  std::unordered_set<int> live_;\n"
+       "};\n"},
+      {"use.cpp", "#include \"tab.h\"\n"},
+  });
+  ASSERT_EQ(corpus.summaries.unordered_decls().size(), 2u);
+  EXPECT_EQ(corpus.summaries.resolve_unordered("g_weights", "use.cpp", "",
+                                               corpus.includes),
+            "tab.h::g_weights");
+  EXPECT_EQ(corpus.summaries.resolve_unordered("live_", "tab.h", "Index",
+                                               corpus.includes),
+            "Index::live_");
+  EXPECT_EQ(corpus.summaries.resolve_unordered("absent", "use.cpp", "",
+                                               corpus.includes),
+            "");
+}
+
+}  // namespace
+}  // namespace fr_analysis

@@ -1,0 +1,105 @@
+#include "analysis/baseline.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace fr_analysis {
+
+namespace {
+
+/// Extracts the string value of `"key": "..."` from one line of the
+/// baseline file, undoing the json_escape encoding. Empty when absent.
+std::string extract_string(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  std::size_t at = line.find(needle);
+  if (at == std::string::npos) return "";
+  at += needle.size();
+  while (at < line.size() && (line[at] == ' ' || line[at] == '\t')) ++at;
+  if (at >= line.size() || line[at] != '"') return "";
+  ++at;
+  std::string out;
+  while (at < line.size()) {
+    const char c = line[at];
+    if (c == '"') break;
+    if (c == '\\' && at + 1 < line.size()) {
+      const char esc = line[at + 1];
+      if (esc == 'n') {
+        out += '\n';
+      } else if (esc == 't') {
+        out += '\t';
+      } else if (esc == 'u' && at + 5 < line.size()) {
+        // json_escape only emits \u00XX for control bytes.
+        out += static_cast<char>(
+            std::stoi(line.substr(at + 2, 4), nullptr, 16));
+        at += 4;
+      } else {
+        out += esc;  // \" and \\ (and anything else, literally)
+      }
+      at += 2;
+      continue;
+    }
+    out += c;
+    ++at;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool load_baseline(const std::string& path, std::vector<BaselineEntry>* out) {
+  out->clear();
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string fingerprint = extract_string(line, "fingerprint");
+    if (fingerprint.empty()) continue;
+    out->push_back({std::move(fingerprint), extract_string(line, "rule"),
+                    extract_string(line, "file")});
+  }
+  return true;
+}
+
+BaselineDiff diff_baseline(const std::vector<Violation>& findings,
+                           const std::vector<BaselineEntry>& baseline) {
+  BaselineDiff diff;
+  std::map<std::string, std::size_t> budget;
+  for (const BaselineEntry& entry : baseline) ++budget[entry.fingerprint];
+
+  for (const Violation& v : findings) {
+    const auto it = budget.find(v.fingerprint);
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    diff.fresh.push_back(v);
+  }
+  // Stale = baseline entries with unspent budget, in file order.
+  std::map<std::string, std::size_t> leftover;
+  for (auto& [fingerprint, count] : budget) leftover[fingerprint] = count;
+  for (const BaselineEntry& entry : baseline) {
+    auto& count = leftover[entry.fingerprint];
+    if (count == 0) continue;
+    --count;
+    diff.stale.push_back(entry);
+  }
+  return diff;
+}
+
+void write_baseline(std::FILE* out, const std::vector<Violation>& findings) {
+  std::fprintf(out, "{\"findings\": [");
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Violation& v = findings[i];
+    std::fprintf(out,
+                 "%s\n  {\"fingerprint\": \"%s\", \"rule\": \"%s\", "
+                 "\"file\": \"%s\", \"line\": %zu, \"message\": \"%s\"}",
+                 i == 0 ? "" : ",", json_escape(v.fingerprint).c_str(),
+                 json_escape(v.rule).c_str(), json_escape(v.file).c_str(),
+                 v.line, json_escape(v.message).c_str());
+  }
+  std::fprintf(out, "\n]}\n");
+}
+
+}  // namespace fr_analysis

@@ -1,0 +1,58 @@
+// Baseline-diff gate for fr_analyze (DESIGN.md §13).
+//
+// CI does not demand a violation-free tree — it demands no *new*
+// violations. The committed baseline (tools/analysis/
+// findings_baseline.json) lists the fingerprints of the findings the
+// tree knowingly tolerates; a run with --baseline diffs its findings
+// against that list as a multiset:
+//
+//   fresh   finding present in the run, absent from the baseline
+//           → printed and the exit code is non-zero (the gate);
+//   stale   baseline entry no finding matched → warned about so the
+//           baseline gets pruned, but exit stays zero (fixing a
+//           tolerated finding must never break CI).
+//
+// Fingerprints are line-insensitive (rule + the identities involved),
+// so unrelated edits to a baselined file do not churn the gate.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/violation.h"
+
+namespace fr_analysis {
+
+/// One tolerated finding from the baseline file. `rule` and `file` are
+/// informational (for the stale warning); identity is the fingerprint.
+struct BaselineEntry {
+  std::string fingerprint;
+  std::string rule;
+  std::string file;
+};
+
+struct BaselineDiff {
+  std::vector<Violation> fresh;       ///< findings not in the baseline
+  std::vector<BaselineEntry> stale;   ///< baseline entries nothing matched
+};
+
+/// Parses a baseline file previously produced by write_baseline (one
+/// finding object per line). Returns false (and leaves `out` empty) on
+/// unreadable files; a missing optional key is tolerated, a missing
+/// fingerprint drops the entry.
+[[nodiscard]] bool load_baseline(const std::string& path,
+                                 std::vector<BaselineEntry>* out);
+
+/// Multiset diff of the run's findings against the baseline: each
+/// baseline fingerprint absorbs at most one finding with the same
+/// fingerprint; leftovers on either side are fresh/stale.
+[[nodiscard]] BaselineDiff diff_baseline(
+    const std::vector<Violation>& findings,
+    const std::vector<BaselineEntry>& baseline);
+
+/// Writes the findings as a baseline file: a stable, reviewable JSON
+/// document with exactly one finding object per line.
+void write_baseline(std::FILE* out, const std::vector<Violation>& findings);
+
+}  // namespace fr_analysis

@@ -1,0 +1,314 @@
+#include "analysis/call_graph.h"
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/scopes.h"
+
+namespace fr_analysis {
+
+namespace {
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+const std::set<std::string>& control_keywords() {
+  static const std::set<std::string> kWords = {
+      "if",     "for",    "while",   "switch", "catch",  "return",
+      "sizeof", "alignof", "decltype", "new",   "delete", "throw",
+      "static_assert", "assert",
+  };
+  return kWords;
+}
+
+const std::set<std::string>& cast_keywords() {
+  static const std::set<std::string> kWords = {
+      "static_cast", "dynamic_cast", "reinterpret_cast", "const_cast",
+  };
+  return kWords;
+}
+
+/// Finds the token index just past the matching closer for the opener
+/// at `open`. Returns toks.size() when unbalanced.
+std::size_t skip_balanced(const std::vector<Token>& toks, std::size_t open,
+                          const char* open_text, const char* close_text) {
+  int depth = 0;
+  for (std::size_t m = open; m < toks.size(); ++m) {
+    if (is_punct(toks[m], open_text)) ++depth;
+    if (is_punct(toks[m], close_text)) {
+      --depth;
+      if (depth == 0) return m + 1;
+    }
+  }
+  return toks.size();
+}
+
+/// Classifies a statement head as a function definition and extracts
+/// the function name. The head must contain a top-level parameter list
+/// `name ( ... )` with an identifier name that is not a control
+/// keyword, must not be an assignment (lambdas, brace-initialized
+/// variables), and must not open a namespace/class/enum body.
+bool head_is_function(const std::vector<Token>& head, std::string& name) {
+  // A real definition head closes its parameter list before the body
+  // brace; an open paren at the brace means the '{' starts an inline
+  // lambda argument (`pool.submit([&] {`), not a function body.
+  int balance = 0;
+  for (const Token& t : head) {
+    if (is_punct(t, "(")) ++balance;
+    if (is_punct(t, ")")) --balance;
+  }
+  if (balance != 0) return false;
+
+  int paren = -1;
+  for (std::size_t k = 0; k < head.size(); ++k) {
+    const Token& t = head[k];
+    if (t.kind == TokKind::kIdent &&
+        (t.text == "namespace" || t.text == "class" || t.text == "struct" ||
+         t.text == "enum" || t.text == "union")) {
+      // `struct X {` opens a type body, and `struct X f() {` does not
+      // occur in this codebase's style; returning a class type by
+      // elaborated specifier would be misread, which is acceptable.
+      return false;
+    }
+    if (is_punct(t, "=")) return false;  // initializer (incl. lambdas)
+    if (is_punct(t, "(")) {
+      paren = static_cast<int>(k);
+      break;
+    }
+  }
+  if (paren <= 0) return false;
+  const Token& fn = head[static_cast<std::size_t>(paren - 1)];
+  if (fn.kind != TokKind::kIdent) return false;  // operator(), casts, ...
+  if (control_keywords().count(fn.text) > 0) return false;
+  name = fn.text;
+  // Destructor: `~Name` — keep the name, identity-wise the dtor shares
+  // the class's call namespace rarely matters (nobody calls ~X()).
+  return true;
+}
+
+/// Trailing-identifier arguments of FR_REQUIRES / FR_REQUIRES_SHARED
+/// spelled in a definition head (annotations sit between the parameter
+/// list and the body brace, so the head contains them whole).
+std::vector<std::string> requires_args_of(const std::vector<Token>& head) {
+  std::vector<std::string> out;
+  for (std::size_t k = 0; k + 1 < head.size(); ++k) {
+    if (head[k].kind != TokKind::kIdent ||
+        (head[k].text != "FR_REQUIRES" &&
+         head[k].text != "FR_REQUIRES_SHARED") ||
+        !is_punct(head[k + 1], "(")) {
+      continue;
+    }
+    int depth = 0;
+    std::string last_ident;
+    for (std::size_t m = k + 1; m < head.size(); ++m) {
+      if (is_punct(head[m], "(")) ++depth;
+      if (is_punct(head[m], ")")) {
+        --depth;
+        if (depth == 0) break;
+      }
+      if (head[m].kind == TokKind::kIdent) last_ident = head[m].text;
+    }
+    if (!last_ident.empty()) out.push_back(std::move(last_ident));
+  }
+  return out;
+}
+
+/// True when any enclosing namespace scope is anonymous.
+bool in_anonymous_namespace(const ScopeTracker& scopes) {
+  for (const Scope& scope : scopes.stack()) {
+    if (scope.kind == ScopeKind::kNamespace && scope.name.empty()) return true;
+  }
+  return false;
+}
+
+/// Extracts call sites from the body range (body_begin, body_end) of
+/// `file` into `def.calls`.
+void extract_calls(const SourceFile& file, FunctionDef& def) {
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t k = def.body_begin + 1; k + 1 < def.body_end; ++k) {
+    const Token& t = toks[k];
+    if (t.kind != TokKind::kIdent || !is_punct(toks[k + 1], "(")) continue;
+    if (control_keywords().count(t.text) > 0) continue;
+    if (cast_keywords().count(t.text) > 0) continue;
+    CallSite call;
+    call.name = t.text;
+    call.token_index = k;
+    call.line = t.line;
+    // Walk any qualifier chain backwards: `A::B::name(` → "A::B".
+    std::size_t q = k;
+    while (q >= 2 && is_punct(toks[q - 1], "::") &&
+           toks[q - 2].kind == TokKind::kIdent) {
+      call.qualifier = call.qualifier.empty()
+                           ? toks[q - 2].text
+                           : toks[q - 2].text + "::" + call.qualifier;
+      q -= 2;
+    }
+    if (q >= 1 && (is_punct(toks[q - 1], ".") || is_punct(toks[q - 1], "->"))) {
+      call.member_call = true;
+    }
+    def.calls.push_back(std::move(call));
+  }
+}
+
+}  // namespace
+
+CallGraph CallGraph::build(const std::vector<SourceFile>& files,
+                           const IncludeGraph& includes) {
+  CallGraph graph;
+
+  for (const SourceFile& file : files) {
+    ScopeTracker scopes;
+    const std::vector<Token>& toks = file.tokens;
+    std::vector<Token> head;
+    for (std::size_t k = 0; k < toks.size(); ++k) {
+      const Token& t = toks[k];
+      if (is_punct(t, "{")) {
+        std::string name;
+        if (head_is_function(head, name)) {
+          FunctionDef def;
+          def.name = name;
+          // member_definition_context is folded into class_path() once
+          // the block scope opens; compute the path the body will see
+          // by advancing a *copy* of the tracker past this brace.
+          ScopeTracker body_scopes = scopes;
+          body_scopes.advance(t);
+          def.class_path = body_scopes.class_path();
+          def.tu_local = in_anonymous_namespace(scopes);
+          def.file = file.path;
+          def.line = t.line;
+          def.body_begin = k;
+          def.body_end = skip_balanced(toks, k, "{", "}");
+          def.id = def.class_path.empty() ? def.name
+                                          : def.class_path + "::" + def.name;
+          if (def.tu_local) def.id = def.file + "::" + def.id;
+          def.requires_args = requires_args_of(head);
+          extract_calls(file, def);
+          graph.functions_.push_back(std::move(def));
+        }
+        head.clear();
+      } else if (is_punct(t, "}") || is_punct(t, ";")) {
+        head.clear();
+      } else {
+        head.push_back(t);
+        if (head.size() > 256) head.erase(head.begin());
+      }
+      scopes.advance(t);
+    }
+  }
+
+  for (std::size_t i = 0; i < graph.functions_.size(); ++i) {
+    const FunctionDef& def = graph.functions_[i];
+    graph.by_id_[def.id].push_back(i);
+    graph.by_name_[def.name].push_back(i);
+    graph.by_file_[def.file].push_back(i);
+  }
+
+  // Resolve every call site now that all definitions are indexed.
+  for (FunctionDef& def : graph.functions_) {
+    for (CallSite& call : def.calls) {
+      call.callee_id = graph.resolve(call.name, call.qualifier,
+                                     call.member_call, def.file,
+                                     def.class_path, includes);
+    }
+  }
+  return graph;
+}
+
+std::vector<const FunctionDef*> CallGraph::defs_of(
+    const std::string& id) const {
+  std::vector<const FunctionDef*> out;
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) return out;
+  for (const std::size_t i : it->second) out.push_back(&functions_[i]);
+  return out;
+}
+
+std::string CallGraph::resolve(const std::string& name,
+                               const std::string& qualifier, bool member_call,
+                               const std::string& use_file,
+                               const std::string& use_class_path,
+                               const IncludeGraph& includes) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return "";
+  const std::set<std::string>& visible = includes.visible_from(use_file);
+  const auto is_visible = [&](const FunctionDef& d) {
+    if (d.tu_local) return d.file == use_file;
+    return d.file == use_file || visible.count(d.file) > 0;
+  };
+
+  // Qualified call: match ids ending in "qualifier::name", visible
+  // first, then a unique corpus-wide candidate.
+  if (!qualifier.empty()) {
+    const std::string suffix = qualifier + "::" + name;
+    const FunctionDef* found = nullptr;
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const std::size_t i : it->second) {
+        const FunctionDef& d = functions_[i];
+        if (pass == 0 && !is_visible(d)) continue;
+        if (d.id.size() < suffix.size() ||
+            d.id.compare(d.id.size() - suffix.size(), suffix.size(),
+                         suffix) != 0) {
+          continue;
+        }
+        if (found != nullptr && found->id != d.id) return "";  // ambiguous
+        found = &d;
+      }
+      if (found != nullptr) return found->id;
+    }
+    return "";
+  }
+
+  // 1. Enclosing class chain, innermost first (shadowing).
+  if (!member_call) {
+    std::string chain = use_class_path;
+    while (!chain.empty()) {
+      for (const std::size_t i : it->second) {
+        const FunctionDef& d = functions_[i];
+        if (d.class_path == chain && is_visible(d)) return d.id;
+      }
+      const std::size_t cut = chain.rfind("::");
+      chain = cut == std::string::npos ? "" : chain.substr(0, cut);
+    }
+  }
+
+  // 2. Visible candidates; member calls restrict to methods (a class
+  // path deeper than a pure namespace chain — heuristically, any
+  // definition whose class_path is non-empty).
+  const FunctionDef* found = nullptr;
+  for (const std::size_t i : it->second) {
+    const FunctionDef& d = functions_[i];
+    if (member_call && d.class_path.empty()) continue;
+    if (!is_visible(d)) continue;
+    if (found != nullptr && found->id != d.id) return "";  // ambiguous
+    found = &d;
+  }
+  if (found != nullptr) return found->id;
+
+  // 3. Unique corpus-wide candidate (definition in a .cpp the caller
+  // only sees a declaration of). TU-local definitions never match here.
+  for (const std::size_t i : it->second) {
+    const FunctionDef& d = functions_[i];
+    if (d.tu_local) continue;
+    if (member_call && d.class_path.empty()) continue;
+    if (found != nullptr && found->id != d.id) return "";  // ambiguous
+    found = &d;
+  }
+  return found != nullptr ? found->id : "";
+}
+
+const FunctionDef* CallGraph::enclosing(const std::string& file,
+                                        std::size_t k) const {
+  const auto it = by_file_.find(file);
+  if (it == by_file_.end()) return nullptr;
+  const FunctionDef* best = nullptr;
+  for (const std::size_t i : it->second) {
+    const FunctionDef& d = functions_[i];
+    if (d.body_begin < k && k < d.body_end) {
+      if (best == nullptr || d.body_begin > best->body_begin) best = &d;
+    }
+  }
+  return best;
+}
+
+}  // namespace fr_analysis

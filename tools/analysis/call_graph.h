@@ -1,0 +1,100 @@
+// Cross-TU call graph (DESIGN.md §13).
+//
+// Recognizes function definitions from statement heads (the same
+// token-level discipline ScopeTracker uses for out-of-line members) and
+// extracts every call site inside each body. Call names are resolved to
+// definition identities the way the compiler would see them, tracked
+// through the quoted-include graph:
+//
+//   1. methods of the enclosing class chain, innermost first (a member
+//      `helper()` shadows a free `helper()`);
+//   2. free functions whose defining file is visible from the calling
+//      TU;
+//   3. a unique corpus-wide candidate — this is what lets a call in
+//      checker.cpp resolve to a definition living in aggregator.cpp
+//      that only a header *declares* (declarations are not tracked at
+//      token level, so unique-name fallback stands in for them).
+//
+// Overloads are instance-blind: every overload of `Class::method`
+// shares one identity, the standard conservative approximation for a
+// token-level analyzer. Functions defined inside an anonymous
+// namespace are TU-local — their identity is prefixed with the file so
+// two .cpp files each defining a static `is_punct` never merge.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/include_graph.h"
+#include "analysis/token.h"
+
+namespace fr_analysis {
+
+/// One call site inside a function body.
+struct CallSite {
+  std::string name;        ///< called identifier as spelled (last segment)
+  std::string qualifier;   ///< explicit `A::B` qualifier, "" if none
+  bool member_call = false;  ///< `obj.name(...)` / `obj->name(...)`
+  std::string callee_id;   ///< resolved definition identity, "" = external
+  std::size_t token_index = 0;  ///< index of `name` in the file's tokens
+  std::size_t line = 0;
+};
+
+/// One function definition (one body; overloads repeat the same id).
+struct FunctionDef {
+  std::string id;          ///< qualified identity (see header comment)
+  std::string name;        ///< unqualified name
+  std::string class_path;  ///< enclosing namespace/class path at the body
+  bool tu_local = false;   ///< anonymous-namespace definition
+  std::string file;
+  std::size_t line = 0;        ///< line of the body-opening brace
+  std::size_t body_begin = 0;  ///< token index of '{'
+  std::size_t body_end = 0;    ///< one past the matching '}'
+  std::vector<CallSite> calls;
+  /// Trailing-identifier arguments of FR_REQUIRES/FR_REQUIRES_SHARED
+  /// annotations spelled on this definition's head — the summaries
+  /// layer treats those locks as held for the whole body.
+  std::vector<std::string> requires_args;
+};
+
+class CallGraph {
+ public:
+  [[nodiscard]] static CallGraph build(const std::vector<SourceFile>& files,
+                                       const IncludeGraph& includes);
+
+  [[nodiscard]] const std::vector<FunctionDef>& functions() const noexcept {
+    return functions_;
+  }
+
+  /// All definitions sharing `id` (overloads / re-definitions across
+  /// the corpus). Empty when unknown.
+  [[nodiscard]] std::vector<const FunctionDef*> defs_of(
+      const std::string& id) const;
+
+  /// Resolves a call by `name` made from `use_file` inside
+  /// `use_class_path`; see the header comment for the lookup order.
+  /// `member_call` restricts candidates to methods; a non-empty
+  /// `qualifier` restricts to ids ending in "qualifier::name".
+  [[nodiscard]] std::string resolve(const std::string& name,
+                                    const std::string& qualifier,
+                                    bool member_call,
+                                    const std::string& use_file,
+                                    const std::string& use_class_path,
+                                    const IncludeGraph& includes) const;
+
+  /// The innermost definition whose body contains token `k` of `file`
+  /// (bodies never interleave, so "innermost" is just the match with
+  /// the largest body_begin). nullptr at file scope.
+  [[nodiscard]] const FunctionDef* enclosing(const std::string& file,
+                                             std::size_t k) const;
+
+ private:
+  std::vector<FunctionDef> functions_;
+  std::map<std::string, std::vector<std::size_t>> by_id_;    // id → indices
+  std::map<std::string, std::vector<std::size_t>> by_name_;  // name → indices
+  std::map<std::string, std::vector<std::size_t>> by_file_;  // file → indices
+};
+
+}  // namespace fr_analysis

@@ -4,8 +4,6 @@
 #include <functional>
 #include <set>
 
-#include "analysis/scopes.h"
-
 namespace fr_analysis {
 
 namespace {
@@ -19,98 +17,103 @@ bool is_lock_type(const Token& t) {
          (t.text == "MutexLock" || t.text == "SharedLock");
 }
 
-/// A scoped-lock variable seen in the current function: `held` toggles
-/// with explicit lock()/unlock() calls; `depth` is the scope depth of
-/// the declaration (popped when its scope closes).
-struct ActiveLock {
-  std::string id;
-  std::string var;
-  std::size_t depth = 0;
-  std::size_t line = 0;
-  bool held = true;
-};
-
 }  // namespace
+
+void LockWalker::assume_held(const std::string& id, std::size_t line) {
+  active_.push_back({id, "", scopes_.depth(), line, true});
+}
+
+void LockWalker::advance(std::size_t k, std::vector<LockEdge>* edges) {
+  const std::vector<Token>& toks = file_.tokens;
+  const Token& t = toks[k];
+
+  // --- Scoped-lock acquisition: MutexLock <var> ( <expr> ) -----------
+  if (is_lock_type(t) && k + 2 < toks.size() &&
+      toks[k + 1].kind == TokKind::kIdent && is_punct(toks[k + 2], "(")) {
+    // Trailing identifier of the constructor argument names the lock
+    // (qualified forms like pool_.mutex_ or fx::g_a resolve through
+    // the symbol table).
+    int depth = 0;
+    std::string last_ident;
+    std::string expr;
+    for (std::size_t m = k + 2; m < toks.size(); ++m) {
+      if (is_punct(toks[m], "(")) {
+        ++depth;
+        if (depth == 1) continue;
+      }
+      if (is_punct(toks[m], ")")) {
+        --depth;
+        if (depth == 0) break;
+      }
+      if (toks[m].kind == TokKind::kIdent) last_ident = toks[m].text;
+      expr += toks[m].text;
+    }
+    if (!last_ident.empty()) {
+      std::string id = symbols_.resolve(last_ident, file_.path,
+                                        scopes_.class_path(), includes_);
+      if (id.empty()) {
+        // Unresolvable: a file-local identity keeps the acquisition
+        // tracked without merging unrelated locks across files.
+        id = file_.path + "::<" + expr + ">";
+      }
+      if (edges != nullptr) {
+        for (const ActiveLock& held : active_) {
+          if (!held.held || held.id == id) continue;
+          edges->push_back({held.id, id, file_.path, held.line, t.line});
+        }
+      }
+      active_.push_back(
+          {std::move(id), toks[k + 1].text, scopes_.depth(), t.line, true});
+    }
+  }
+
+  // --- Explicit <var>.unlock() / <var>.lock() on a scoped lock -------
+  if (t.kind == TokKind::kIdent && k + 3 < toks.size() &&
+      is_punct(toks[k + 1], ".") && toks[k + 2].kind == TokKind::kIdent &&
+      (toks[k + 2].text == "unlock" || toks[k + 2].text == "lock") &&
+      is_punct(toks[k + 3], "(")) {
+    for (auto it = active_.rbegin(); it != active_.rend(); ++it) {
+      if (it->var == t.text) {
+        it->held = toks[k + 2].text == "lock";
+        if (it->held) it->line = t.line;
+        break;
+      }
+    }
+  }
+
+  scopes_.advance(t);
+  if (is_punct(t, "}")) {
+    std::erase_if(active_, [&](const ActiveLock& lock) {
+      return lock.depth > scopes_.depth();
+    });
+  }
+}
 
 LockGraph LockGraph::build(const std::vector<SourceFile>& files,
                            const SymbolTable& symbols,
                            const IncludeGraph& includes) {
   LockGraph graph;
-
   for (const SourceFile& file : files) {
-    ScopeTracker scopes;
-    std::vector<ActiveLock> active;
-    const std::vector<Token>& toks = file.tokens;
-
-    for (std::size_t k = 0; k < toks.size(); ++k) {
-      const Token& t = toks[k];
-
-      // --- Scoped-lock acquisition: MutexLock <var> ( <expr> ) -------
-      if (is_lock_type(t) && k + 2 < toks.size() &&
-          toks[k + 1].kind == TokKind::kIdent && is_punct(toks[k + 2], "(")) {
-        // Trailing identifier of the constructor argument names the
-        // lock (qualified forms like pool_.mutex_ or fx::g_a resolve
-        // through the symbol table).
-        int depth = 0;
-        std::string last_ident;
-        std::string expr;
-        for (std::size_t m = k + 2; m < toks.size(); ++m) {
-          if (is_punct(toks[m], "(")) {
-            ++depth;
-            if (depth == 1) continue;
-          }
-          if (is_punct(toks[m], ")")) {
-            --depth;
-            if (depth == 0) break;
-          }
-          if (toks[m].kind == TokKind::kIdent) last_ident = toks[m].text;
-          expr += toks[m].text;
-        }
-        if (!last_ident.empty()) {
-          std::string id = symbols.resolve(last_ident, file.path,
-                                           scopes.class_path(), includes);
-          if (id.empty()) {
-            // Unresolvable: a file-local identity keeps the acquisition
-            // tracked without merging unrelated locks across files.
-            id = file.path + "::<" + expr + ">";
-          }
-          for (const ActiveLock& held : active) {
-            if (!held.held || held.id == id) continue;
-            graph.edges_.push_back(
-                {held.id, id, file.path, held.line, t.line});
-          }
-          active.push_back(
-              {std::move(id), toks[k + 1].text, scopes.depth(), t.line, true});
-        }
-      }
-
-      // --- Explicit <var>.unlock() / <var>.lock() on a scoped lock ---
-      if (t.kind == TokKind::kIdent && k + 3 < toks.size() &&
-          is_punct(toks[k + 1], ".") && toks[k + 2].kind == TokKind::kIdent &&
-          (toks[k + 2].text == "unlock" || toks[k + 2].text == "lock") &&
-          is_punct(toks[k + 3], "(")) {
-        for (auto it = active.rbegin(); it != active.rend(); ++it) {
-          if (it->var == t.text) {
-            it->held = toks[k + 2].text == "lock";
-            if (it->held) it->line = t.line;
-            break;
-          }
-        }
-      }
-
-      scopes.advance(t);
-      if (is_punct(t, "}")) {
-        std::erase_if(active, [&](const ActiveLock& lock) {
-          return lock.depth > scopes.depth();
-        });
-      }
+    LockWalker walker(file, symbols, includes);
+    for (std::size_t k = 0; k < file.tokens.size(); ++k) {
+      walker.advance(k, &graph.edges_);
     }
   }
-
-  for (std::size_t e = 0; e < graph.edges_.size(); ++e) {
-    graph.adjacency_[graph.edges_[e].from].push_back(e);
-  }
+  graph.index_edges();
   return graph;
+}
+
+LockGraph LockGraph::from_edges(std::vector<LockEdge> edges) {
+  LockGraph graph;
+  graph.edges_ = std::move(edges);
+  graph.index_edges();
+  return graph;
+}
+
+void LockGraph::index_edges() {
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    adjacency_[edges_[e].from].push_back(e);
+  }
 }
 
 std::vector<LockCycle> LockGraph::find_cycles() const {

@@ -1,4 +1,4 @@
-// Static lock-order graph (DESIGN.md §11).
+// Static lock-order graph (DESIGN.md §11, §13).
 //
 // Extracts intra-scope acquisition sequences from MutexLock/SharedLock
 // nesting across all translation units: while lock A is held (an
@@ -11,6 +11,13 @@
 // pattern in the thread pool) updates the held set, so the stream-of-
 // tokens view tracks what the scopes actually hold.
 //
+// The held-lock walk itself is exposed as LockWalker so the summaries
+// layer (analysis/summaries.h) shares the exact same semantics when it
+// asks "what is held at this call site / blocking primitive / guarded
+// write" — one tracker, two consumers. Interprocedural passes extend
+// the direct graph with call-chain-induced edges (LockEdge::via holds
+// the witness chain) via LockGraph::from_edges.
+//
 // Lock identity is instance-blind (every instance of a class shares
 // its member mutex's identity) — the standard conservative
 // approximation; see SymbolTable::resolve for the lookup order.
@@ -22,18 +29,24 @@
 #include <vector>
 
 #include "analysis/include_graph.h"
+#include "analysis/scopes.h"
 #include "analysis/symbols.h"
 #include "analysis/token.h"
 
 namespace fr_analysis {
 
 /// One acquired-after edge: `to` was acquired while `from` was held.
+/// Direct edges come from MutexLock nesting in one body; induced edges
+/// (via != "") come from a call made under `from` reaching an
+/// acquisition of `to` through the summarized call chain.
 struct LockEdge {
   std::string from;  ///< resolved lock identity
   std::string to;
   std::string file;           ///< TU the nesting was seen in
   std::size_t from_line = 0;  ///< acquisition line of `from`
-  std::size_t to_line = 0;    ///< acquisition line of `to`
+  std::size_t to_line = 0;    ///< acquisition line of `to` (call line
+                              ///< for induced edges)
+  std::string via;            ///< witness call chain, "" for direct edges
 };
 
 /// A cycle through the global lock graph: edges[i].to == edges[i+1].from
@@ -42,11 +55,59 @@ struct LockCycle {
   std::vector<LockEdge> edges;
 };
 
+/// A scoped-lock variable alive in the current function: `held` toggles
+/// with explicit lock()/unlock() calls; `depth` is the scope depth of
+/// the declaration (popped when its scope closes).
+struct ActiveLock {
+  std::string id;
+  std::string var;
+  std::size_t depth = 0;
+  std::size_t line = 0;
+  bool held = true;
+};
+
+/// Streams a file's tokens and maintains the set of active scoped
+/// locks. Call advance(k) for every token index in order; query
+/// active() *before* advancing past the token of interest (the state
+/// at a token is the state as of its first character).
+class LockWalker {
+ public:
+  LockWalker(const SourceFile& file, const SymbolTable& symbols,
+             const IncludeGraph& includes)
+      : file_(file), symbols_(symbols), includes_(includes) {}
+
+  /// Consumes token k. When it opens a `MutexLock var(expr)` /
+  /// `SharedLock var(expr)` acquisition, an acquired-after edge to
+  /// every currently-held lock is appended to `edges` (when non-null)
+  /// and the new lock joins the active set.
+  void advance(std::size_t k, std::vector<LockEdge>* edges);
+
+  /// Injects a pseudo-held lock (an FR_REQUIRES annotation on the
+  /// function being walked): held for the rest of the current scope.
+  void assume_held(const std::string& id, std::size_t line);
+
+  [[nodiscard]] const std::vector<ActiveLock>& active() const noexcept {
+    return active_;
+  }
+  [[nodiscard]] const ScopeTracker& scopes() const noexcept { return scopes_; }
+
+ private:
+  const SourceFile& file_;
+  const SymbolTable& symbols_;
+  const IncludeGraph& includes_;
+  ScopeTracker scopes_;
+  std::vector<ActiveLock> active_;
+};
+
 class LockGraph {
  public:
   [[nodiscard]] static LockGraph build(const std::vector<SourceFile>& files,
                                        const SymbolTable& symbols,
                                        const IncludeGraph& includes);
+
+  /// A graph over an explicit edge list — how the transitive pass
+  /// combines the direct edges with the call-chain-induced ones.
+  [[nodiscard]] static LockGraph from_edges(std::vector<LockEdge> edges);
 
   [[nodiscard]] const std::vector<LockEdge>& edges() const noexcept {
     return edges_;
@@ -57,6 +118,8 @@ class LockGraph {
   [[nodiscard]] std::vector<LockCycle> find_cycles() const;
 
  private:
+  void index_edges();
+
   std::vector<LockEdge> edges_;
   std::map<std::string, std::vector<std::size_t>> adjacency_;  // lock → edge idx
 };

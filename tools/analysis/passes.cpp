@@ -1,6 +1,7 @@
 #include "analysis/passes.h"
 
 #include <algorithm>
+#include <iterator>
 #include <map>
 #include <set>
 
@@ -92,7 +93,8 @@ std::vector<Violation> run_sim_time_pass(const std::vector<SourceFile>& files,
              "real-time source '" + toks[k].text +
                  "' in pipeline code — charge I/O to SimClock "
                  "(common/sim_clock.h) so runs replay identically; "
-                 "wall-clock measurement belongs in common/timer.h"});
+                 "wall-clock measurement belongs in common/timer.h",
+             "sim-time|" + file.path + "|" + toks[k].text});
       }
     }
   }
@@ -207,7 +209,9 @@ std::vector<Violation> run_determinism_pass(
                            "std::accumulate inside a parallel_for lambda — "
                            "use the fixed-block reduction helpers "
                            "(core/faultyrank.cpp reduce_block_sum/_max) to "
-                           "keep sums bit-identical across pool sizes"});
+                           "keep sums bit-identical across pool sizes",
+                           "determinism-reduction|" + file.path +
+                               "|accumulate"});
             continue;
           }
           if (p + 1 >= toks.size() ||
@@ -230,7 +234,8 @@ std::vector<Violation> run_determinism_pass(
                "floating-point accumulation into captured '" + name +
                    "' inside a parallel_for lambda — scheduling decides "
                    "the addition order; route the reduction through the "
-                   "fixed-block helpers or write disjoint indexed slots"});
+                   "fixed-block helpers or write disjoint indexed slots",
+               "determinism-reduction|" + file.path + "|" + name});
         }
         m = body_end > m ? body_end - 1 : m;
       }
@@ -240,55 +245,313 @@ std::vector<Violation> run_determinism_pass(
 }
 
 // ---------------------------------------------------------------------
-// lock-order-cycle
+// lock-order-cycle (+ the call-chain-transitive variant)
 // ---------------------------------------------------------------------
+
+namespace {
+
+/// Deterministic attribution anchor: the lexicographically smallest
+/// (file, from_line) among the witness edges.
+const LockEdge* cycle_primary(const LockCycle& cycle) {
+  const LockEdge* primary = &cycle.edges.front();
+  for (const LockEdge& edge : cycle.edges) {
+    if (edge.file < primary->file ||
+        (edge.file == primary->file && edge.from_line < primary->from_line)) {
+      primary = &edge;
+    }
+  }
+  return primary;
+}
+
+std::string cycle_witness(const LockCycle& cycle) {
+  std::string witness;
+  for (const LockEdge& edge : cycle.edges) {
+    if (!witness.empty()) witness += "; ";
+    witness += edge.from + " -> " + edge.to + " [" + edge.file + ":" +
+               std::to_string(edge.from_line) + " holds the former, :" +
+               std::to_string(edge.to_line) +
+               (edge.via.empty() ? " acquires the latter]"
+                                 : " calls " + edge.via + "]");
+  }
+  return witness;
+}
+
+/// Line-insensitive cycle identity: the ordered node list (find_cycles
+/// already roots every cycle at its smallest node).
+std::string cycle_fingerprint(const std::string& rule,
+                              const LockCycle& cycle) {
+  std::string nodes;
+  for (const LockEdge& edge : cycle.edges) nodes += edge.from + ";";
+  return rule + "|" + nodes;
+}
+
+}  // namespace
 
 std::vector<Violation> run_lock_order_pass(const LockGraph& graph,
                                            const std::vector<SourceFile>& files) {
   std::vector<Violation> out;
   for (const LockCycle& cycle : graph.find_cycles()) {
-    // Primary anchor: lexicographically smallest (file, line) among the
-    // witness edges, so attribution is deterministic and the fixture
-    // self-test can state which file owns the finding.
-    const LockEdge* primary = &cycle.edges.front();
-    for (const LockEdge& edge : cycle.edges) {
-      if (edge.file < primary->file ||
-          (edge.file == primary->file && edge.from_line < primary->from_line)) {
-        primary = &edge;
-      }
-    }
-    std::string witness;
-    for (const LockEdge& edge : cycle.edges) {
-      if (!witness.empty()) witness += "; ";
-      witness += edge.from + " -> " + edge.to + " [" + edge.file + ":" +
-                 std::to_string(edge.from_line) + " holds the former, :" +
-                 std::to_string(edge.to_line) + " acquires the latter]";
-    }
+    const LockEdge* primary = cycle_primary(cycle);
     const SourceFile* file = find_file(files, primary->file);
     if (file != nullptr &&
         line_allows(*file, primary->from_line, "lock-order-cycle")) {
       continue;
     }
     out.push_back({primary->file, primary->from_line, "lock-order-cycle",
-                   "lock acquisition cycle (potential deadlock): " + witness});
+                   "lock acquisition cycle (potential deadlock): " +
+                       cycle_witness(cycle),
+                   cycle_fingerprint("lock-order-cycle", cycle)});
+  }
+  return out;
+}
+
+std::vector<Violation> run_lock_order_transitive_pass(
+    const LockGraph& direct, const Summaries& summaries,
+    const std::vector<SourceFile>& files) {
+  // Direct edges first: the cycle finder dedups by node sequence, so a
+  // cycle closable without any induced edge is discovered through its
+  // direct edges and filtered below — the direct pass owns it.
+  std::vector<LockEdge> combined = direct.edges();
+  combined.insert(combined.end(), summaries.induced_edges().begin(),
+                  summaries.induced_edges().end());
+  const LockGraph graph = LockGraph::from_edges(std::move(combined));
+
+  std::vector<Violation> out;
+  for (const LockCycle& cycle : graph.find_cycles()) {
+    bool induced = false;
+    for (const LockEdge& edge : cycle.edges) {
+      if (!edge.via.empty()) induced = true;
+    }
+    if (!induced) continue;
+    const LockEdge* primary = cycle_primary(cycle);
+    const SourceFile* file = find_file(files, primary->file);
+    if (file != nullptr && line_allows(*file, primary->from_line,
+                                       "lock-order-cycle-transitive")) {
+      continue;
+    }
+    out.push_back(
+        {primary->file, primary->from_line, "lock-order-cycle-transitive",
+         "lock acquisition cycle through call chains (potential "
+         "deadlock): " + cycle_witness(cycle),
+         cycle_fingerprint("lock-order-cycle-transitive", cycle)});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// blocking-under-lock
+// ---------------------------------------------------------------------
+
+std::vector<Violation> run_blocking_under_lock_pass(
+    const Summaries& summaries, const std::vector<SourceFile>& files) {
+  std::vector<Violation> out;
+  for (const BlockingSite& site : summaries.blocking_sites()) {
+    const SourceFile* file = find_file(files, site.file);
+    if (file != nullptr &&
+        line_allows(*file, site.line, "blocking-under-lock")) {
+      continue;
+    }
+    std::string message = "'" + site.what + "' may block while " +
+                          site.held_id + " is held (acquired at " + site.file +
+                          ":" + std::to_string(site.held_line) + ")";
+    if (!site.path.empty()) {
+      message += " — reached via ";
+      for (std::size_t i = 0; i < site.path.size(); ++i) {
+        if (i > 0) message += " -> ";
+        message += site.path[i];
+      }
+      message += ", blocking at " + site.origin_file + ":" +
+                 std::to_string(site.origin_line);
+    }
+    message +=
+        "; a stalled write or parked wait here holds every contender of "
+        "the lock hostage — move the slow work outside the critical "
+        "section";
+    out.push_back({site.file, site.line, "blocking-under-lock",
+                   std::move(message),
+                   "blocking-under-lock|" + site.file + "|" +
+                       site.function_id + "|" + site.held_id + "|" +
+                       site.what + "|" + site.callee_id});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// determinism-taint
+// ---------------------------------------------------------------------
+
+namespace {
+
+const std::set<std::string>& taint_emit_names() {
+  static const std::set<std::string> kNames = {
+      "put",   "put_string", "put_bytes", "fwrite",
+      "fputs", "fputc",      "fprintf",   "vfprintf", "printf",
+  };
+  return kNames;
+}
+
+}  // namespace
+
+std::vector<Violation> run_determinism_taint_pass(
+    const std::vector<SourceFile>& files, const CallGraph& graph,
+    const Summaries& summaries, const IncludeGraph& includes) {
+  std::vector<Violation> out;
+  for (const SourceFile& file : files) {
+    const std::vector<Token>& toks = file.tokens;
+    for (std::size_t k = 0; k + 1 < toks.size(); ++k) {
+      if (toks[k].kind != TokKind::kIdent || toks[k].text != "for" ||
+          !is_punct(toks[k + 1], "(")) {
+        continue;
+      }
+      const std::size_t head_end = skip_balanced(toks, k + 1, "(", ")");
+      // Range-for: a ':' at parenthesis depth 1.
+      std::size_t colon = 0;
+      int depth = 0;
+      for (std::size_t m = k + 1; m < head_end; ++m) {
+        if (is_punct(toks[m], "(")) ++depth;
+        if (is_punct(toks[m], ")")) --depth;
+        if (depth == 1 && is_punct(toks[m], ":")) {
+          colon = m;
+          break;
+        }
+      }
+      if (colon == 0 || head_end == 0 || head_end > toks.size()) continue;
+
+      // The container is the trailing identifier of the range
+      // expression; a call result (expression ending in ')') has no
+      // trackable identity.
+      if (head_end < 2 || is_punct(toks[head_end - 2], ")")) continue;
+      std::string container;
+      for (std::size_t m = colon + 1; m + 1 < head_end; ++m) {
+        if (toks[m].kind == TokKind::kIdent) container = toks[m].text;
+      }
+      if (container.empty()) continue;
+
+      const FunctionDef* def = graph.enclosing(file.path, k);
+      const std::string container_id = summaries.resolve_unordered(
+          container, file.path, def != nullptr ? def->class_path : "",
+          includes);
+      if (container_id.empty()) continue;
+
+      // Body: a brace block or a single statement up to ';'.
+      std::size_t body_begin = head_end;
+      std::size_t body_end;
+      if (body_begin < toks.size() && is_punct(toks[body_begin], "{")) {
+        body_end = skip_balanced(toks, body_begin, "{", "}");
+      } else {
+        body_end = body_begin;
+        while (body_end < toks.size() && !is_punct(toks[body_end], ";")) {
+          ++body_end;
+        }
+      }
+
+      // First order-sensitive sink inside the body wins; one finding
+      // per loop.
+      std::string sink;
+      for (std::size_t p = body_begin; p < body_end && sink.empty(); ++p) {
+        if (toks[p].kind != TokKind::kIdent) continue;
+        const bool call = p + 1 < toks.size() && is_punct(toks[p + 1], "(");
+        if (call && taint_emit_names().count(toks[p].text) > 0) {
+          sink = toks[p].text;
+          break;
+        }
+        if (call && (toks[p].text == "accumulate" ||
+                     toks[p].text == "parallel_for" ||
+                     toks[p].text == "parallel_for_ranges")) {
+          sink = toks[p].text;
+          break;
+        }
+        if (call && def != nullptr) {
+          for (const CallSite& site : def->calls) {
+            if (site.token_index != p || site.callee_id.empty()) continue;
+            if (!summaries.of(site.callee_id).emits.empty()) {
+              sink = site.name;
+            }
+            break;
+          }
+          if (!sink.empty()) break;
+        }
+        if (p + 1 < toks.size() &&
+            (is_punct(toks[p + 1], "+=") || is_punct(toks[p + 1], "-=")) &&
+            floating_in_file(toks, toks[p].text)) {
+          sink = "float:" + toks[p].text;
+          break;
+        }
+      }
+      if (sink.empty()) continue;
+      if (line_allows(file, toks[k].line, "determinism-taint")) continue;
+      out.push_back(
+          {file.path, toks[k].line, "determinism-taint",
+           "iteration over unordered container '" + container_id +
+               "' feeds order-sensitive sink '" + sink +
+               "' — hash order varies by seed/address, so emitted bytes "
+               "and float sums change run to run; sort the keys (or copy "
+               "into an ordered container) before this loop",
+           "determinism-taint|" + file.path + "|" +
+               (def != nullptr ? def->id : std::string()) + "|" +
+               container_id + "|" + sink});
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// guarded-by-coverage
+// ---------------------------------------------------------------------
+
+std::vector<Violation> run_guarded_by_pass(
+    const Summaries& summaries, const std::vector<SourceFile>& files) {
+  std::vector<Violation> out;
+  for (const UnguardedWrite& write : summaries.unguarded_writes()) {
+    const SourceFile* file = find_file(files, write.file);
+    if (file != nullptr &&
+        line_allows(*file, write.line, "guarded-by-coverage")) {
+      continue;
+    }
+    std::string message = "write to '" + write.field_id +
+                          "' (FR_GUARDED_BY " + write.guard_id +
+                          ") with no path from entry holding the guard";
+    if (write.path.empty()) {
+      message += " — the writing function neither locks it nor declares "
+                 "FR_REQUIRES";
+    } else {
+      message += " — reachable from " + write.root_id + " via ";
+      for (std::size_t i = 0; i < write.path.size(); ++i) {
+        if (i > 0) message += " -> ";
+        message += write.path[i];
+      }
+    }
+    out.push_back({write.file, write.line, "guarded-by-coverage",
+                   std::move(message),
+                   "guarded-by-coverage|" + write.field_id + "|" +
+                       write.guard_id + "|" + write.file});
   }
   return out;
 }
 
 std::vector<Violation> run_all_passes(const std::vector<SourceFile>& files,
                                       const SymbolTable& /*symbols*/,
-                                      const IncludeGraph& /*includes*/,
+                                      const IncludeGraph& includes,
                                       const LockGraph& lock_graph,
+                                      const CallGraph& call_graph,
+                                      const Summaries& summaries,
                                       const PassOptions& options) {
   std::vector<Violation> out = run_lock_order_pass(lock_graph, files);
-  std::vector<Violation> sim = run_sim_time_pass(files, options);
-  out.insert(out.end(), sim.begin(), sim.end());
-  std::vector<Violation> det = run_determinism_pass(files);
-  out.insert(out.end(), det.begin(), det.end());
+  const auto append = [&out](std::vector<Violation> more) {
+    out.insert(out.end(), std::make_move_iterator(more.begin()),
+               std::make_move_iterator(more.end()));
+  };
+  append(run_sim_time_pass(files, options));
+  append(run_determinism_pass(files));
+  append(run_lock_order_transitive_pass(lock_graph, summaries, files));
+  append(run_blocking_under_lock_pass(summaries, files));
+  append(run_determinism_taint_pass(files, call_graph, summaries, includes));
+  append(run_guarded_by_pass(summaries, files));
   std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
     if (a.file != b.file) return a.file < b.file;
     if (a.line != b.line) return a.line < b.line;
-    return a.rule < b.rule;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
   });
   return out;
 }

@@ -1,4 +1,6 @@
-// The three cross-file fr_analyze passes (DESIGN.md §11):
+// The cross-file fr_analyze passes (DESIGN.md §11, §13).
+//
+// Intra-procedural (corpus-wide token view):
 //
 //   lock-order-cycle        Any directed cycle in the global MutexLock
 //                           acquired-after graph, reported with the
@@ -20,15 +22,46 @@
 //                           helpers (reduce_block_sum/_max) or write
 //                           disjoint indexed slots.
 //
+// Interprocedural (call-graph summaries, analysis/summaries.h):
+//
+//   lock-order-cycle-transitive
+//                           A lock cycle that only closes through call
+//                           chains: a call made under lock A reaching
+//                           an acquisition of B in a callee induces the
+//                           edge A→B. Reported with the full
+//                           inter-function witness; cycles already
+//                           visible to the direct pass are not
+//                           re-reported.
+//   blocking-under-lock     A blocking primitive (CondVar wait family,
+//                           thread join, file I/O) reachable — directly
+//                           or through summarized callees — while a
+//                           scoped lock is held. The lock a
+//                           `cv.wait(lock)` releases is exempt at that
+//                           site.
+//   determinism-taint       Iteration over an unordered container
+//                           (hash order = address order = run order)
+//                           flowing into an output or reduction sink:
+//                           emitted bytes or float accumulation pick up
+//                           the hash-seed ordering and runs stop being
+//                           bit-identical.
+//   guarded-by-coverage     A write to an FR_GUARDED_BY field on a path
+//                           where no caller up to a root function holds
+//                           the guard (FR_REQUIRES on a definition head
+//                           counts as held).
+//
 // A line can opt out with a trailing `// fr_analyze: allow(rule-id)`.
+// Every violation carries a line-insensitive fingerprint for the
+// baseline gate (analysis/baseline.h).
 #pragma once
 
 #include <array>
 #include <string>
 #include <vector>
 
+#include "analysis/call_graph.h"
 #include "analysis/include_graph.h"
 #include "analysis/lock_graph.h"
+#include "analysis/summaries.h"
 #include "analysis/symbols.h"
 #include "analysis/token.h"
 #include "analysis/violation.h"
@@ -37,8 +70,11 @@ namespace fr_analysis {
 
 /// Every rule id fr_analyze can emit (the fixture self-test demands
 /// each appears in exactly one EXPECT header).
-inline constexpr std::array<const char*, 3> kAnalyzeRuleIds = {
-    "lock-order-cycle", "sim-time", "determinism-reduction"};
+inline constexpr std::array<const char*, 7> kAnalyzeRuleIds = {
+    "lock-order-cycle",    "sim-time",
+    "determinism-reduction", "lock-order-cycle-transitive",
+    "blocking-under-lock", "determinism-taint",
+    "guarded-by-coverage"};
 
 struct PassOptions {
   /// Self-test mode: treat every file as pipeline code (src/), so the
@@ -55,10 +91,28 @@ struct PassOptions {
 [[nodiscard]] std::vector<Violation> run_determinism_pass(
     const std::vector<SourceFile>& files);
 
-/// All three passes over an analyzed corpus, sorted by (file, line).
+/// Cycles in direct ∪ call-chain-induced edges that need at least one
+/// induced edge to close (everything else is the direct pass's job).
+[[nodiscard]] std::vector<Violation> run_lock_order_transitive_pass(
+    const LockGraph& direct, const Summaries& summaries,
+    const std::vector<SourceFile>& files);
+
+[[nodiscard]] std::vector<Violation> run_blocking_under_lock_pass(
+    const Summaries& summaries, const std::vector<SourceFile>& files);
+
+[[nodiscard]] std::vector<Violation> run_determinism_taint_pass(
+    const std::vector<SourceFile>& files, const CallGraph& graph,
+    const Summaries& summaries, const IncludeGraph& includes);
+
+[[nodiscard]] std::vector<Violation> run_guarded_by_pass(
+    const Summaries& summaries, const std::vector<SourceFile>& files);
+
+/// All seven passes over an analyzed corpus, sorted by
+/// (file, line, rule, message) — byte-stable across runs.
 [[nodiscard]] std::vector<Violation> run_all_passes(
     const std::vector<SourceFile>& files, const SymbolTable& symbols,
     const IncludeGraph& includes, const LockGraph& lock_graph,
+    const CallGraph& call_graph, const Summaries& summaries,
     const PassOptions& options);
 
 }  // namespace fr_analysis

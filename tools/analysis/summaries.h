@@ -1,0 +1,194 @@
+// Per-function summaries propagated to fixpoint over the call graph
+// (DESIGN.md §13).
+//
+// For every function definition the builder walks the body once with
+// the shared LockWalker and records four kinds of *direct* facts:
+//
+//   acquires   MutexLock/SharedLock constructions, resolved to mutex
+//              identities through the symbol table;
+//   blocks     blocking primitives — wait-family member calls
+//              (CondVar::wait and friends), file I/O (fopen/fputs/
+//              fwrite/...), thread joins. A `x.wait(lockvar)` whose
+//              argument names an active scoped lock records which lock
+//              the wait releases, so the CondVar protocol (wait drops
+//              the lock it is given) never reads as self-blocking;
+//   emits      output-producing primitives (ByteWriter::put and the
+//              stdio writers) — the sinks determinism taint flows to.
+//              Applied by name even for resolved callees: the writer's
+//              body is just a memcpy, the *name* carries the meaning;
+//   writes     assignments/mutations of FR_GUARDED_BY fields on paths
+//              where the guard is not held (FR_REQUIRES on the
+//              definition head counts as held).
+//
+// Facts then propagate caller-ward to a fixpoint: the summary of F is
+// the union of its direct facts and the facts of everything F can
+// reach, each fact carrying the witness call chain back to its origin
+// ("callee [file:line]" steps, outermost call first). The lattice is
+// a finite powerset (facts are keyed by their origin site), merges are
+// set union, so the worklist terminates — recursion and mutual
+// recursion just stop adding new keys. Guarded-write facts are the one
+// conditional edge: they propagate only through call sites where the
+// caller does NOT hold the guard (a caller that holds it discharges
+// the obligation), and surface as findings only when they survive to a
+// root (a function no analyzed call site reaches).
+//
+// On top of the fixpoint the builder derives the products the
+// interprocedural passes consume directly: call-chain-induced lock
+// edges, blocking-under-lock sites, and undischarged guarded writes.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/call_graph.h"
+#include "analysis/include_graph.h"
+#include "analysis/lock_graph.h"
+#include "analysis/symbols.h"
+#include "analysis/token.h"
+
+namespace fr_analysis {
+
+/// A lock acquisition reachable from a function.
+struct AcquireFact {
+  std::string lock_id;
+  std::string file;  ///< acquisition site
+  std::size_t line = 0;
+  std::vector<std::string> path;  ///< call chain to origin, "" = direct
+};
+
+/// A blocking primitive reachable from a function.
+struct BlockFact {
+  std::string what;      ///< primitive name ("wait", "fopen", ...)
+  std::string released;  ///< lock id a wait(lockvar) releases, "" if none
+  std::string file;      ///< primitive site
+  std::size_t line = 0;
+  std::vector<std::string> path;
+};
+
+/// An output-producing primitive reachable from a function.
+struct EmitFact {
+  std::string what;
+  std::string file;
+  std::size_t line = 0;
+  std::vector<std::string> path;
+};
+
+/// A guarded-field write not yet discharged by any caller's lock.
+struct WriteFact {
+  std::string field_id;
+  std::string guard_id;
+  std::string file;  ///< write site
+  std::size_t line = 0;
+  std::vector<std::string> path;
+};
+
+/// Fixpoint summary of one function identity (facts keyed by origin
+/// site so merges are idempotent set unions).
+struct FunctionSummary {
+  std::map<std::string, AcquireFact> acquires;
+  std::map<std::string, BlockFact> blocks;
+  std::map<std::string, EmitFact> emits;
+  std::map<std::string, WriteFact> writes;
+};
+
+/// An FR_GUARDED_BY-annotated field: "<class>::<name>" for members,
+/// "<file>::<name>" for file-scope variables.
+struct GuardedField {
+  std::string id;
+  std::string name;
+  std::string class_path;  ///< "" for file scope
+  std::string guard_id;    ///< resolved mutex identity
+  std::string file;
+  std::size_t line = 0;
+};
+
+/// A variable of unordered-container type (std::unordered_map/set and
+/// the multi variants), same identity scheme as GuardedField.
+struct UnorderedDecl {
+  std::string id;
+  std::string name;
+  std::string class_path;
+  std::string file;
+  std::size_t line = 0;
+};
+
+/// A site where something may block while a scoped lock is held.
+struct BlockingSite {
+  std::string file;  ///< the call / primitive site
+  std::size_t line = 0;
+  std::string function_id;  ///< enclosing function
+  std::string held_id;      ///< the (innermost) lock held across it
+  std::size_t held_line = 0;
+  std::string what;       ///< blocking primitive
+  std::string callee_id;  ///< summarized callee, "" for a direct primitive
+  std::string origin_file;  ///< where the primitive actually lives
+  std::size_t origin_line = 0;
+  std::vector<std::string> path;  ///< witness chain into the callee
+};
+
+/// A guarded-field write that survived fixpoint to a root function.
+struct UnguardedWrite {
+  std::string field_id;
+  std::string guard_id;
+  std::string file;  ///< the write site
+  std::size_t line = 0;
+  std::string root_id;            ///< entry function the path starts at
+  std::vector<std::string> path;  ///< chain from root down to the write
+};
+
+class Summaries {
+ public:
+  [[nodiscard]] static Summaries build(const std::vector<SourceFile>& files,
+                                       const CallGraph& graph,
+                                       const SymbolTable& symbols,
+                                       const IncludeGraph& includes);
+
+  /// Fixpoint summary for a function identity (empty summary when the
+  /// id is unknown).
+  [[nodiscard]] const FunctionSummary& of(const std::string& id) const;
+
+  [[nodiscard]] const std::vector<GuardedField>& guarded_fields()
+      const noexcept {
+    return guarded_fields_;
+  }
+  [[nodiscard]] const std::vector<UnorderedDecl>& unordered_decls()
+      const noexcept {
+    return unordered_decls_;
+  }
+
+  /// Resolves a container name used at `use_file` inside
+  /// `use_class_path` against the unordered-container declarations
+  /// (same lookup order as SymbolTable::resolve). "" when unknown.
+  [[nodiscard]] std::string resolve_unordered(
+      const std::string& name, const std::string& use_file,
+      const std::string& use_class_path, const IncludeGraph& includes) const;
+
+  /// Lock-order edges induced through call chains: a call made while
+  /// `from` is held reaching an acquisition of `to` in the callee's
+  /// summary. LockEdge::via carries the witness chain.
+  [[nodiscard]] const std::vector<LockEdge>& induced_edges() const noexcept {
+    return induced_edges_;
+  }
+
+  [[nodiscard]] const std::vector<BlockingSite>& blocking_sites()
+      const noexcept {
+    return blocking_sites_;
+  }
+
+  [[nodiscard]] const std::vector<UnguardedWrite>& unguarded_writes()
+      const noexcept {
+    return unguarded_writes_;
+  }
+
+ private:
+  std::map<std::string, FunctionSummary> by_id_;
+  std::vector<GuardedField> guarded_fields_;
+  std::vector<UnorderedDecl> unordered_decls_;
+  std::vector<LockEdge> induced_edges_;
+  std::vector<BlockingSite> blocking_sites_;
+  std::vector<UnguardedWrite> unguarded_writes_;
+};
+
+}  // namespace fr_analysis

@@ -80,11 +80,32 @@ SymbolTable SymbolTable::build(const std::vector<SourceFile>& files,
     const std::vector<Token>& toks = file.tokens;
     for (std::size_t k = 0; k < toks.size(); ++k) {
       // --- Mutex declarations: <type> <name> ; -----------------------
+      // Also <type> <name> { ... } ; — the brace-initialized form the
+      // deadlock-detect labels use (`Mutex mutex_{"Pool::mutex_"};`).
       bool wrapper = false;
       const std::string type = mutex_type_at(toks, k, wrapper);
+      bool is_decl = false;
       if (!type.empty() && k + 2 < toks.size() &&
-          toks[k + 1].kind == TokKind::kIdent &&
-          !all_caps(toks[k + 1].text) && is_punct(toks[k + 2], ";")) {
+          toks[k + 1].kind == TokKind::kIdent && !all_caps(toks[k + 1].text)) {
+        if (is_punct(toks[k + 2], ";")) {
+          is_decl = true;
+        } else if (is_punct(toks[k + 2], "{")) {
+          int depth = 0;
+          std::size_t m = k + 2;
+          for (; m < toks.size(); ++m) {
+            if (is_punct(toks[m], "{")) ++depth;
+            if (is_punct(toks[m], "}")) {
+              --depth;
+              if (depth == 0) {
+                ++m;
+                break;
+              }
+            }
+          }
+          is_decl = m < toks.size() && is_punct(toks[m], ";");
+        }
+      }
+      if (is_decl) {
         // `class Mutex ...` and `using Mutex = ...` heads are not
         // declarations of a variable; reject when the previous
         // identifier is a keyword introducing a type.

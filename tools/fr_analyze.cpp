@@ -1,16 +1,22 @@
 // fr_analyze — token-level cross-file analyzer for the invariants the
-// single-file fr_lint pass structurally cannot see (DESIGN.md §11):
+// single-file fr_lint pass structurally cannot see (DESIGN.md §11, §13):
 //
-//   * the global lock hierarchy (lock-order-cycle): MutexLock nesting
-//     is extracted per translation unit, resolved through the mutex
-//     symbol table + include graph, and merged into one acquired-after
-//     graph; any cycle is a potential deadlock and is reported with
-//     the full witness path;
+//   * the global lock hierarchy (lock-order-cycle, plus the
+//     call-chain-transitive variant fed by per-function summaries):
+//     MutexLock nesting is extracted per translation unit, resolved
+//     through the mutex symbol table + include graph, and merged into
+//     one acquired-after graph; any cycle is a potential deadlock and
+//     is reported with the full witness path;
 //   * the sim-time discipline (sim-time): no real-time sources in
 //     pipeline code outside common/sim_clock.* / common/timer.h;
-//   * the bit-determinism contract (determinism-reduction): no
-//     captured floating-point accumulation inside parallel_for
-//     lambdas.
+//   * the bit-determinism contract (determinism-reduction and the
+//     interprocedural determinism-taint): no captured floating-point
+//     accumulation inside parallel_for lambdas, and no unordered-
+//     container iteration feeding output/reduction sinks;
+//   * blocking-under-lock: no wait/join/file-I/O reachable while a
+//     scoped lock is held;
+//   * guarded-by-coverage: every FR_GUARDED_BY field write sits on a
+//     path that holds (or FR_REQUIRES) the guard.
 //
 // The static side is paired with a dynamic verifier: build with
 // -DFAULTYRANK_DEADLOCK_DETECT=ON (the `deadlock` preset) and the
@@ -20,7 +26,10 @@
 // code paths; dynamically the tests cover the paths they execute.
 //
 // Usage:
-//   fr_analyze [--json] <dir-or-file>...     analyze; exit 1 on violation
+//   fr_analyze [--json|--sarif] [--baseline <f> | --write-baseline <f>]
+//              <dir-or-file>...              analyze; with --baseline,
+//                                            exit 1 only on findings
+//                                            missing from the baseline
 //   fr_analyze --self-test <fixtures-dir>    EXPECT-driven fixture check
 //   fr_analyze --coverage [--baseline <f> | --write-baseline <f>] <roots>
 //                                            annotation-coverage gate
@@ -34,9 +43,12 @@
 #include <string>
 #include <vector>
 
+#include "analysis/baseline.h"
+#include "analysis/call_graph.h"
 #include "analysis/include_graph.h"
 #include "analysis/lock_graph.h"
 #include "analysis/passes.h"
+#include "analysis/summaries.h"
 #include "analysis/symbols.h"
 #include "analysis/tokenizer.h"
 #include "analysis/violation.h"
@@ -80,6 +92,8 @@ struct Corpus {
   IncludeGraph includes;
   SymbolTable symbols;
   LockGraph locks;
+  CallGraph graph;
+  Summaries summaries;
 };
 
 Corpus load_corpus(const std::vector<fs::path>& paths) {
@@ -92,25 +106,74 @@ Corpus load_corpus(const std::vector<fs::path>& paths) {
   corpus.symbols = SymbolTable::build(corpus.files, corpus.includes);
   corpus.locks =
       LockGraph::build(corpus.files, corpus.symbols, corpus.includes);
+  corpus.graph = CallGraph::build(corpus.files, corpus.includes);
+  corpus.summaries = Summaries::build(corpus.files, corpus.graph,
+                                      corpus.symbols, corpus.includes);
   return corpus;
 }
 
-int run_analyze(const std::vector<std::string>& roots, bool json) {
+enum class Format { kText, kJson, kSarif };
+
+int run_analyze(const std::vector<std::string>& roots, Format format,
+                const std::string& baseline_path, bool update_baseline) {
   const Corpus corpus = load_corpus(collect(roots, /*include_fixtures=*/false));
-  const std::vector<Violation> violations = run_all_passes(
-      corpus.files, corpus.symbols, corpus.includes, corpus.locks, {});
-  if (json) {
-    emit_json(stdout, violations);
+  const std::vector<Violation> violations =
+      run_all_passes(corpus.files, corpus.symbols, corpus.includes,
+                     corpus.locks, corpus.graph, corpus.summaries, {});
+
+  if (update_baseline) {
+    std::FILE* out = std::fopen(baseline_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "fr_analyze: cannot write baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    write_baseline(out, violations);
+    std::fclose(out);
+    std::fprintf(stderr, "fr_analyze: wrote %zu finding(s) to %s\n",
+                 violations.size(), baseline_path.c_str());
+    return 0;
+  }
+
+  std::vector<Violation> reported = violations;
+  std::size_t tolerated = 0;
+  std::size_t stale = 0;
+  if (!baseline_path.empty()) {
+    std::vector<BaselineEntry> baseline;
+    if (!load_baseline(baseline_path, &baseline)) {
+      std::fprintf(stderr, "fr_analyze: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    BaselineDiff diff = diff_baseline(violations, baseline);
+    tolerated = violations.size() - diff.fresh.size();
+    stale = diff.stale.size();
+    for (const BaselineEntry& entry : diff.stale) {
+      std::fprintf(stderr,
+                   "fr_analyze: stale baseline entry (no longer found): "
+                   "[%s] %s (%s) — prune it with --write-baseline\n",
+                   entry.rule.c_str(), entry.fingerprint.c_str(),
+                   entry.file.c_str());
+    }
+    reported = std::move(diff.fresh);
+  }
+
+  if (format == Format::kJson) {
+    emit_json(stdout, reported);
+  } else if (format == Format::kSarif) {
+    emit_sarif(stdout, "fr_analyze", reported);
   } else {
-    emit_text(stderr, violations);
+    emit_text(stderr, reported);
   }
   std::fprintf(stderr,
                "fr_analyze: %zu file(s), %zu include edge(s), %zu mutex(es), "
-               "%zu lock edge(s), %zu violation(s)\n",
+               "%zu lock edge(s), %zu function(s), %zu violation(s)"
+               " (%zu baselined, %zu stale)\n",
                corpus.files.size(), corpus.includes.edge_count(),
                corpus.symbols.mutexes().size(), corpus.locks.edges().size(),
-               violations.size());
-  return violations.empty() ? 0 : 1;
+               corpus.graph.functions().size(), reported.size(), tolerated,
+               stale);
+  return reported.empty() ? 0 : 1;
 }
 
 // ---------------------------------------------------------------------
@@ -217,8 +280,9 @@ int run_self_test(const std::string& fixtures_dir) {
   const Corpus corpus = load_corpus(paths);
   PassOptions options;
   options.treat_all_as_src = true;
-  const std::vector<Violation> violations = run_all_passes(
-      corpus.files, corpus.symbols, corpus.includes, corpus.locks, options);
+  const std::vector<Violation> violations =
+      run_all_passes(corpus.files, corpus.symbols, corpus.includes,
+                     corpus.locks, corpus.graph, corpus.summaries, options);
 
   const std::set<std::string> known(kAnalyzeRuleIds.begin(),
                                     kAnalyzeRuleIds.end());
@@ -280,7 +344,7 @@ int run_self_test(const std::string& fixtures_dir) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  bool json = false;
+  Format format = Format::kText;
   bool coverage = false;
   bool write_baseline = false;
   std::string baseline;
@@ -290,7 +354,9 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg == "--json") {
-      json = true;
+      format = Format::kJson;
+    } else if (arg == "--sarif") {
+      format = Format::kSarif;
     } else if (arg == "--coverage") {
       coverage = true;
     } else if (arg == "--baseline" || arg == "--write-baseline") {
@@ -319,12 +385,13 @@ int main(int argc, char** argv) {
   if (roots.empty()) {
     std::fprintf(
         stderr,
-        "usage: fr_analyze [--json] <dir-or-file>...\n"
+        "usage: fr_analyze [--json|--sarif] [--baseline <file> | "
+        "--write-baseline <file>] <dir-or-file>...\n"
         "       fr_analyze --self-test <fixtures-dir>\n"
         "       fr_analyze --coverage [--baseline <file> | --write-baseline "
         "<file>] <roots>\n");
     return 2;
   }
   if (coverage) return run_coverage(roots, baseline, write_baseline);
-  return run_analyze(roots, json);
+  return run_analyze(roots, format, baseline, write_baseline);
 }

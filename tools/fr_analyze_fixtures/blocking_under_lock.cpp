@@ -1,0 +1,18 @@
+// EXPECT: blocking-under-lock
+// File I/O reached through a callee while a scoped lock is held: the
+// blocking fact (fopen/fclose in flush_side_log) propagates up the
+// call summary, and the call site inside the critical section is the
+// violation — every contender of g_b1 stalls behind a disk write.
+#include <cstdio>
+
+#include "interproc_locks.h"
+
+inline void flush_side_log() {
+  std::FILE* f = std::fopen("side.log", "a");
+  if (f != nullptr) std::fclose(f);
+}
+
+inline void hold_and_flush() {
+  fx::MutexLock lock(fxi::g_b1);
+  flush_side_log();
+}

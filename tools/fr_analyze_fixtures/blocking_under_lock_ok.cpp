@@ -1,0 +1,22 @@
+// EXPECT: clean
+// The CondVar protocol: cond_.wait(lock) parks the thread, but the
+// wait *releases* the lock it is handed — the one held lock at the
+// site is exempt, so this must not read as blocking-under-lock.
+#include "interproc_locks.h"
+
+struct FakeCond {
+  void wait(fx::MutexLock&) {}
+};
+
+class Waiter {
+ public:
+  void park() {
+    fx::MutexLock lock(mu_);
+    while (!ready_flag_) cond_.wait(lock);
+  }
+
+ private:
+  fx::Mutex mu_;
+  bool ready_flag_ = false;
+  FakeCond cond_;
+};

@@ -1,0 +1,24 @@
+// EXPECT: determinism-taint
+// Hash-order iteration flowing into an output sink through a callee:
+// the emit fact (Sink::put, matched by name) propagates into
+// emit_weight's summary, so the range-for over the unordered map is a
+// taint source feeding an order-sensitive sink — the emitted sequence
+// changes with the hash seed.
+#include <unordered_map>
+
+struct Sink {
+  void put(int) {}
+};
+
+namespace fxt {
+
+inline Sink g_sink;
+inline std::unordered_map<int, int> g_weights;
+
+inline void emit_weight(int v) { g_sink.put(v); }
+
+inline void snapshot_weights() {
+  for (const auto& kv : g_weights) emit_weight(kv.second);
+}
+
+}  // namespace fxt

@@ -1,0 +1,17 @@
+// EXPECT: clean
+// Iterating an unordered container is fine when nothing order-
+// sensitive consumes the visit order: integer addition commutes
+// exactly, and nothing is emitted from the loop.
+#include <unordered_map>
+
+namespace fxu {
+
+inline std::unordered_map<int, long> g_tally;
+
+inline long total_tally() {
+  long total = 0;
+  for (const auto& kv : g_tally) total += kv.second;
+  return total;
+}
+
+}  // namespace fxu

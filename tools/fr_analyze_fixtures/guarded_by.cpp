@@ -1,0 +1,26 @@
+// EXPECT: guarded-by-coverage
+// A guarded-field write with no path from any entry point holding the
+// guard: bump_unsafe mutates count_ bare and nobody locks mu_ around
+// it, so the obligation survives fixpoint to a root. bump_safe shows
+// the discharged shape on the same field. (FR_GUARDED_BY is a macro in
+// the real tree; the analyzer keys on the spelled annotation, so no
+// define is needed here.)
+#include "locks.h"
+
+namespace fxg {
+
+class Counter {
+ public:
+  void bump_safe() {
+    fx::MutexLock lock(mu_);
+    ++count_;
+  }
+
+  void bump_unsafe() { ++count_; }
+
+ private:
+  fx::Mutex mu_;
+  int count_ FR_GUARDED_BY(mu_);
+};
+
+}  // namespace fxg

@@ -1,0 +1,23 @@
+// EXPECT: clean
+// A bare guarded-field write that IS safe: the only caller of touch()
+// holds the guard at the call site, so the write obligation is
+// discharged on the way up and never reaches a root unguarded.
+#include "locks.h"
+
+namespace fxh {
+
+class Gauge {
+ public:
+  void refresh() {
+    fx::MutexLock lock(gmu_);
+    touch();
+  }
+
+ private:
+  void touch() { level_ = level_ + 1; }
+
+  fx::Mutex gmu_;
+  int level_ FR_GUARDED_BY(gmu_);
+};
+
+}  // namespace fxh

@@ -1,0 +1,16 @@
+// EXPECT: clean
+// Shared declarations for the interprocedural fixtures: fresh global
+// locks (distinct from fx::g_lock_a/g_lock_b so the direct-cycle
+// fixtures and the transitive ones never entangle — the self-test
+// analyzes the whole directory as one corpus).
+#pragma once
+
+#include "locks.h"
+
+namespace fxi {
+
+inline fx::Mutex g_t1;
+inline fx::Mutex g_t2;
+inline fx::Mutex g_b1;
+
+}  // namespace fxi

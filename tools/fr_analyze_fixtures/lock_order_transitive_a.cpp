@@ -1,0 +1,16 @@
+// EXPECT: lock-order-cycle-transitive
+// One half of a lock inversion that no single body exhibits: this TU
+// acquires g_t1 and then *calls* a function (defined in
+// lock_order_transitive_b.cpp) whose summary acquires g_t2. The other
+// half holds g_t2 and calls back into a g_t1 acquirer. Neither TU has
+// nested MutexLocks, so the direct lock-order pass is blind; only the
+// call-chain-induced edges close the cycle. Attribution lands here
+// because this file's witness edge sorts first.
+#include "interproc_locks.h"
+
+void take_second();
+
+void first_then_second() {
+  fx::MutexLock hold(fxi::g_t1);
+  take_second();
+}

@@ -1,0 +1,19 @@
+// EXPECT: clean
+// The other half of the transitive inversion (see
+// lock_order_transitive_a.cpp). Clean on its own: the cycle's witness
+// is attributed to the a-side file, and nothing here nests locks
+// directly.
+#include "interproc_locks.h"
+
+void take_second() {
+  fx::MutexLock hold(fxi::g_t2);
+}
+
+void take_first() {
+  fx::MutexLock hold(fxi::g_t1);
+}
+
+void second_then_first() {
+  fx::MutexLock hold(fxi::g_t2);
+  take_first();
+}

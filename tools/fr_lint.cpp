@@ -87,7 +87,8 @@ bool line_allows(const std::string& raw_line, const std::string& rule) {
 
 /// Matches a mutex declaration on a scrubbed line and returns the
 /// declared name, or "" when the line declares none. Accepts
-/// `[mutable|static] <mutex-type> name;` with nothing else of note —
+/// `[mutable|static] <mutex-type> name;` and the brace-initialized
+/// `<mutex-type> name{...};` (the deadlock-detect label form) —
 /// parameter lists and constructor calls (which contain '(') don't
 /// count as declarations.
 std::string mutex_decl_name(const std::string& line) {
@@ -114,6 +115,24 @@ std::string mutex_decl_name(const std::string& line) {
         while (i < line.size() &&
                std::isspace(static_cast<unsigned char>(line[i]))) {
           ++i;
+        }
+        if (!name.empty() && i < line.size() && line[i] == '{') {
+          int depth = 0;
+          while (i < line.size()) {
+            if (line[i] == '{') ++depth;
+            if (line[i] == '}') {
+              --depth;
+              if (depth == 0) {
+                ++i;
+                break;
+              }
+            }
+            ++i;
+          }
+          while (i < line.size() &&
+                 std::isspace(static_cast<unsigned char>(line[i]))) {
+            ++i;
+          }
         }
         if (!name.empty() && i < line.size() && line[i] == ';') return name;
       }
@@ -416,7 +435,9 @@ std::vector<fs::path> collect(const std::vector<std::string>& roots) {
   return files;
 }
 
-int run_lint(const std::vector<std::string>& roots, bool json) {
+enum class Format { kText, kJson, kSarif };
+
+int run_lint(const std::vector<std::string>& roots, Format format) {
   std::vector<Violation> violations;
   std::size_t file_count = 0;
   for (const fs::path& path : collect(roots)) {
@@ -426,8 +447,27 @@ int run_lint(const std::vector<std::string>& roots, bool json) {
     const auto found = lint_file(p, read_file(path), is_library);
     violations.insert(violations.end(), found.begin(), found.end());
   }
-  if (json) {
+  // Byte-stable output regardless of directory iteration order, so CI
+  // diffs and the baseline workflow never see spurious churn.
+  std::stable_sort(violations.begin(), violations.end(),
+                   [](const Violation& a, const Violation& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     if (a.rule != b.rule) return a.rule < b.rule;
+                     return a.message < b.message;
+                   });
+  // fr_lint rules are single-line pattern checks, so rule + file +
+  // message is already a line-insensitive identity — synthesize it
+  // here so SARIF consumers get usable partialFingerprints.
+  for (Violation& v : violations) {
+    if (v.fingerprint.empty()) {
+      v.fingerprint = v.rule + "|" + v.file + "|" + v.message;
+    }
+  }
+  if (format == Format::kJson) {
     fr_analysis::emit_json(stdout, violations);
+  } else if (format == Format::kSarif) {
+    fr_analysis::emit_sarif(stdout, "fr_lint", violations);
   } else {
     fr_analysis::emit_text(stderr, violations);
   }
@@ -517,17 +557,21 @@ int run_self_test(const std::string& fixtures_dir) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  bool json = false;
+  Format format = Format::kText;
   std::erase_if(args, [&](const std::string& arg) {
     if (arg == "--json") {
-      json = true;
+      format = Format::kJson;
+      return true;
+    }
+    if (arg == "--sarif") {
+      format = Format::kSarif;
       return true;
     }
     return false;
   });
   if (args.empty()) {
     std::fprintf(stderr,
-                 "usage: fr_lint [--json] <dir-or-file>...\n"
+                 "usage: fr_lint [--json|--sarif] <dir-or-file>...\n"
                  "       fr_lint --self-test <fixtures-dir>\n");
     return 2;
   }
@@ -538,5 +582,5 @@ int main(int argc, char** argv) {
     }
     return run_self_test(args[1]);
   }
-  return run_lint(args, json);
+  return run_lint(args, format);
 }
