@@ -2,15 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <span>
 #include <stdexcept>
+#include <type_traits>
 
 #include "core/propagation_plan.h"
+#include "core/rank_gather.h"
 
-// Two kernels live in this translation unit on purpose: keeping the
-// plan kernel and the reference oracle under the same compiler flags
-// and floating-point contraction decisions is part of the bit-identity
-// argument (DESIGN.md §9).
+// The plan kernel and the reference oracle live in this translation
+// unit on purpose, and the whole project compiles with
+// -ffp-contract=off: identical compiler flags plus the canonical lane
+// tree of rank_gather.h are what make the kernels bit-identical
+// (DESIGN.md §9, §14). The AVX2 gathers live in their own -mavx2 TU
+// (faultyrank_simd_avx2.cpp) but implement the very same tree.
 
 namespace faultyrank {
 
@@ -152,41 +157,72 @@ double mean_rank_of(const std::vector<double>& id_rank) {
 }
 
 // ---------------------------------------------------------------------
-// Plan kernel: branch-free coefficient gathers, reductions fused into
-// the sweeps, edge-balanced chunk scheduling.
+// Plan kernel: branch-free coefficient gathers through the canonical
+// lane tree, reductions fused into the sweeps, edge-balanced sticky
+// chunk scheduling. Templated over the arithmetic type (double or
+// float32 mode) and the gather implementation (scalar or AVX2) — the
+// four instantiations differ only in those two axes.
+//
+// When the plan carries a vertex ordering, the whole iteration runs in
+// relabeled id space (adjacency, coefficients, sink lists, reduction
+// blocks all come from the plan in that space); the inverse permutation
+// maps the converged vectors back to original Gids at the end.
 // ---------------------------------------------------------------------
 
+template <typename Real,
+          Real (*Gather)(const Gid*, const Real*, std::uint64_t, const Real*)>
 FaultyRankResult run_planned(const UnifiedGraph& graph,
                              const PropagationPlan& plan,
                              const FaultyRankConfig& config,
                              ThreadPool* pool) {
   const std::size_t n = graph.vertex_count();
-  const Csr& forward = graph.forward();
-  const Csr& reverse = graph.reverse();
-  const std::span<const double> coeff_rev = plan.coeff_rev();
-  const std::span<const double> coeff_fwd = plan.coeff_fwd();
+  const Csr& forward = plan.forward();
+  const Csr& reverse = plan.reverse();
+  const Gid* fwd_targets = forward.targets().data();
+  const Gid* rev_targets = reverse.targets().data();
+  const Real* coeff_rev;
+  const Real* coeff_fwd;
+  if constexpr (std::is_same_v<Real, float>) {
+    coeff_rev = plan.coeff_rev_f32().data();
+    coeff_fwd = plan.coeff_fwd_f32().data();
+  } else {
+    coeff_rev = plan.coeff_rev().data();
+    coeff_fwd = plan.coeff_fwd().data();
+  }
   const std::span<const Gid> fwd_sinks = plan.forward_sinks();
   const std::span<const Gid> rev_sinks = plan.reversed_sinks();
+  const VertexPermutation& perm = plan.permutation();
 
   FaultyRankResult result;
-  auto [id_rank, prop_rank] = initial_ranks(config, n);
-  std::vector<double> next(n, 0.0);
+  // Initial vectors arrive in original Gid space (warm starts
+  // especially); narrow to Real and scatter into plan id space.
+  const RankVectors init = initial_ranks(config, n);
+  std::vector<Real> id_rank(n), prop_rank(n), next(n, Real{0});
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t pv = perm.empty() ? v : perm.new_of_old[v];
+    id_rank[pv] = static_cast<Real>(init.id_rank[v]);
+    prop_rank[pv] = static_cast<Real>(init.prop_rank[v]);
+  }
 
-  const double inv_n = 1.0 / static_cast<double>(n);
+  const double inv_n_d = 1.0 / static_cast<double>(n);
+  const auto inv_n = static_cast<Real>(inv_n_d);
   const std::size_t nb = block_count(n);
-  std::vector<double> block_l1(nb), block_max(nb), block_sink(nb);
+  std::vector<Real> block_l1(nb), block_max(nb), block_sink(nb);
 
   const bool parallel =
       pool != nullptr && pool->size() > 1 && n >= config.serial_grain;
   // Chunk boundaries carry ~equal *edge* counts (binary search over the
   // CSR offsets), aligned so no reduction block spans two chunks. Each
   // pass gets its own partition: the two CSRs have different skew.
+  // Sticky submission pins chunk c to worker c every sweep of every
+  // iteration, so each worker re-touches the same rank/coefficient
+  // pages it first-touched at plan build — the NUMA placement story.
   std::vector<std::size_t> rev_bounds, fwd_bounds;
   if (parallel) {
-    rev_bounds =
-        partition_by_weight(reverse.offsets(), pool->size(), kRankReductionBlock);
-    fwd_bounds =
-        partition_by_weight(forward.offsets(), pool->size(), kRankReductionBlock);
+    rev_bounds = partition_by_weight(reverse.offsets(), pool->size(),
+                                     kRankReductionBlock);
+    fwd_bounds = partition_by_weight(forward.offsets(), pool->size(),
+                                     kRankReductionBlock);
   }
   const auto run_pass =
       [&](const std::vector<std::size_t>& bounds,
@@ -196,22 +232,22 @@ FaultyRankResult run_planned(const UnifiedGraph& graph,
           body(0, n, 0);
           return;
         }
-        pool->parallel_for_ranges(bounds, body);
+        pool->parallel_for_ranges(bounds, body, /*sticky=*/true);
       };
 
   // Blockwise sum of values[v] over an ascending sink list — the same
   // grouping as a predicate block sum over all vertices, because the
   // skipped terms are exact zeros.
   const auto sum_sinks = [&](std::span<const Gid> sinks,
-                             const std::vector<double>& values) {
-    double total = 0.0;
-    double acc = 0.0;
+                             const std::vector<Real>& values) {
+    Real total{0};
+    Real acc{0};
     std::size_t block = 0;
     for (const Gid v : sinks) {
       const std::size_t b = v / kRankReductionBlock;
       if (b != block) {
         total += acc;
-        acc = 0.0;
+        acc = Real{0};
         block = b;
       }
       acc += values[v];
@@ -222,21 +258,21 @@ FaultyRankResult run_planned(const UnifiedGraph& graph,
   // Sink-share numerators. sink1 (pass-1 sinks' prop mass) is seeded
   // here and thereafter maintained by the fused pass-2 accumulation;
   // sink2 comes out of the fused pass-1 accumulation each iteration.
-  double sink1_sum = sum_sinks(fwd_sinks, prop_rank);
+  Real sink1_sum = sum_sinks(fwd_sinks, prop_rank);
 
   double diff = 0.0;
   std::size_t iteration = 0;
   for (; iteration < config.max_iterations; ++iteration) {
     // ---- Pass 1: id_rank from prop_rank over G (pull via G_R), with
     // the diff and next-pass sink reductions fused into the sweep. ----
-    const double sink_share = sink1_sum * inv_n;
+    const Real sink_share = sink1_sum * inv_n;
     run_pass(rev_bounds, [&](std::size_t begin, std::size_t end,
                              std::size_t) {
       auto sink_pos = std::lower_bound(rev_sinks.begin(), rev_sinks.end(),
                                        static_cast<Gid>(begin));
-      double l1 = 0.0;
-      double max_delta = 0.0;
-      double sink_acc = 0.0;
+      Real l1{0};
+      Real max_delta{0};
+      Real sink_acc{0};
       std::size_t block = begin / kRankReductionBlock;
       for (std::size_t v = begin; v < end; ++v) {
         const std::size_t b = v / kRankReductionBlock;
@@ -244,18 +280,16 @@ FaultyRankResult run_planned(const UnifiedGraph& graph,
           block_l1[block] = l1;
           block_max[block] = max_delta;
           block_sink[block] = sink_acc;
-          l1 = max_delta = sink_acc = 0.0;
+          l1 = max_delta = sink_acc = Real{0};
           block = b;
         }
-        double acc = sink_share;
         const auto gv = static_cast<Gid>(v);
-        const std::uint64_t slots_end = reverse.edges_end(gv);
-        for (std::uint64_t slot = reverse.edges_begin(gv); slot < slots_end;
-             ++slot) {
-          acc += prop_rank[reverse.target(slot)] * coeff_rev[slot];
-        }
+        const std::uint64_t s0 = reverse.edges_begin(gv);
+        const Real acc =
+            sink_share + Gather(rev_targets + s0, coeff_rev + s0,
+                                reverse.edges_end(gv) - s0, prop_rank.data());
         next[v] = acc;
-        const double delta = std::abs(acc - id_rank[v]);
+        const Real delta = std::abs(acc - id_rank[v]);
         l1 += delta;
         max_delta = std::max(max_delta, delta);
         if (sink_pos != rev_sinks.end() && *sink_pos == gv) {
@@ -268,40 +302,39 @@ FaultyRankResult run_planned(const UnifiedGraph& graph,
       block_sink[block] = sink_acc;
     });
 
-    double diff_l1 = 0.0;
-    double diff_max = 0.0;
-    double sink2_sum = 0.0;
+    Real diff_l1{0};
+    Real diff_max{0};
+    Real sink2_sum{0};
     for (std::size_t b = 0; b < nb; ++b) {
       diff_l1 += block_l1[b];
       diff_max = std::max(diff_max, block_max[b]);
       sink2_sum += block_sink[b];
     }
-    diff = scale_diff(config, diff_l1, diff_max, inv_n);
+    diff = scale_diff(config, static_cast<double>(diff_l1),
+                      static_cast<double>(diff_max), inv_n_d);
     id_rank.swap(next);
 
     // ---- Pass 2: prop_rank from id_rank over G_R (pull via G), with
     // the next pass-1 sink reduction fused into the sweep. ----
-    const double sink_share_reversed = sink2_sum * inv_n;
+    const Real sink_share_reversed = sink2_sum * inv_n;
     run_pass(fwd_bounds, [&](std::size_t begin, std::size_t end,
                              std::size_t) {
       auto sink_pos = std::lower_bound(fwd_sinks.begin(), fwd_sinks.end(),
                                        static_cast<Gid>(begin));
-      double sink_acc = 0.0;
+      Real sink_acc{0};
       std::size_t block = begin / kRankReductionBlock;
       for (std::size_t v = begin; v < end; ++v) {
         const std::size_t b = v / kRankReductionBlock;
         if (b != block) {
           block_sink[block] = sink_acc;
-          sink_acc = 0.0;
+          sink_acc = Real{0};
           block = b;
         }
-        double acc = sink_share_reversed;
         const auto gv = static_cast<Gid>(v);
-        const std::uint64_t slots_end = forward.edges_end(gv);
-        for (std::uint64_t slot = forward.edges_begin(gv); slot < slots_end;
-             ++slot) {
-          acc += id_rank[forward.target(slot)] * coeff_fwd[slot];
-        }
+        const std::uint64_t s0 = forward.edges_begin(gv);
+        const Real acc = sink_share_reversed +
+                         Gather(fwd_targets + s0, coeff_fwd + s0,
+                                forward.edges_end(gv) - s0, id_rank.data());
         next[v] = acc;
         if (sink_pos != fwd_sinks.end() && *sink_pos == gv) {
           sink_acc += acc;
@@ -310,7 +343,7 @@ FaultyRankResult run_planned(const UnifiedGraph& graph,
       }
       block_sink[block] = sink_acc;
     });
-    sink1_sum = 0.0;
+    sink1_sum = Real{0};
     for (std::size_t b = 0; b < nb; ++b) sink1_sum += block_sink[b];
     prop_rank.swap(next);
 
@@ -325,9 +358,10 @@ FaultyRankResult run_planned(const UnifiedGraph& graph,
     // One decomposition pass from the converged id ranks: split each
     // vertex's pass-2 gather by the kind of the out-edge carrying it
     // (the reversed-sink share is global and excluded by construction —
-    // those slots carry coefficient 0).
-    result.prop_rank_by_kind.assign(kEdgeKindCount,
-                                    std::vector<double>(n, 0.0));
+    // those slots carry coefficient 0). Plain sequential accumulation,
+    // exactly like the reference kernel's decomposition pass.
+    std::vector<std::vector<Real>> by_kind(kEdgeKindCount,
+                                           std::vector<Real>(n, Real{0}));
     run_pass(fwd_bounds,
              [&](std::size_t begin, std::size_t end, std::size_t) {
                for (std::size_t v = begin; v < end; ++v) {
@@ -337,19 +371,84 @@ FaultyRankResult run_planned(const UnifiedGraph& graph,
                       slot < slots_end; ++slot) {
                    const auto kind =
                        static_cast<std::size_t>(forward.kind(slot));
-                   result.prop_rank_by_kind[kind][v] +=
+                   by_kind[kind][v] +=
                        id_rank[forward.target(slot)] * coeff_fwd[slot];
                  }
                }
              });
+    result.prop_rank_by_kind.assign(kEdgeKindCount,
+                                    std::vector<double>(n, 0.0));
+    for (std::size_t k = 0; k < kEdgeKindCount; ++k) {
+      for (std::size_t v = 0; v < n; ++v) {
+        const std::size_t old = perm.empty() ? v : perm.old_of_new[v];
+        result.prop_rank_by_kind[k][old] =
+            static_cast<double>(by_kind[k][v]);
+      }
+    }
   }
 
-  result.mean_rank = mean_rank_of(id_rank);
-  result.id_rank = std::move(id_rank);
-  result.prop_rank = std::move(prop_rank);
+  // Mean over plan id space — for the cross-kernel goldens this must be
+  // the same summation order as the reference kernel running on the
+  // relabeled graph.
+  double total_mass = 0.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    total_mass += static_cast<double>(id_rank[v]);
+  }
+  result.mean_rank =
+      n == 0 ? 1.0 : total_mass / static_cast<double>(n);
+
+  // Widen and report in original Gid space.
+  result.id_rank.resize(n);
+  result.prop_rank.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t old = perm.empty() ? v : perm.old_of_new[v];
+    result.id_rank[old] = static_cast<double>(id_rank[v]);
+    result.prop_rank[old] = static_cast<double>(prop_rank[v]);
+  }
   result.iterations = iteration;
   result.final_diff = diff;
   return result;
+}
+
+/// True when this invocation may take the AVX2 path: compiled in,
+/// allowed by the config, supported by the CPU, and the vertex ids fit
+/// the gather instruction's signed-32-bit indices.
+bool simd_usable(const FaultyRankConfig& config, std::size_t n) {
+#if defined(FAULTYRANK_SIMD)
+  return config.use_simd &&
+         n <= static_cast<std::size_t>(
+                  std::numeric_limits<std::int32_t>::max()) &&
+         detail::cpu_supports_avx2();
+#else
+  (void)config;
+  (void)n;
+  return false;
+#endif
+}
+
+FaultyRankResult dispatch_planned(const UnifiedGraph& graph,
+                                  const PropagationPlan& plan,
+                                  const FaultyRankConfig& config,
+                                  ThreadPool* pool) {
+  const bool simd = simd_usable(config, graph.vertex_count());
+  if (plan.options().float32) {
+#if defined(FAULTYRANK_SIMD)
+    if (simd) {
+      return run_planned<float, detail::gather_avx2_f32>(graph, plan, config,
+                                                         pool);
+    }
+#endif
+    return run_planned<float, detail::gather_scalar<float>>(graph, plan,
+                                                            config, pool);
+  }
+#if defined(FAULTYRANK_SIMD)
+  if (simd) {
+    return run_planned<double, detail::gather_avx2_f64>(graph, plan, config,
+                                                        pool);
+  }
+#endif
+  return run_planned<double, detail::gather_scalar<double>>(graph, plan,
+                                                            config, pool);
 }
 
 }  // namespace
@@ -365,8 +464,9 @@ FaultyRankResult run_faultyrank(const UnifiedGraph& graph,
     return result;
   }
   const PropagationPlan plan =
-      PropagationPlan::build(graph, config.unpaired_weight, pool);
-  return run_planned(graph, plan, config, pool);
+      PropagationPlan::build(graph, config.unpaired_weight, pool,
+                             {config.ordering, config.float32});
+  return dispatch_planned(graph, plan, config, pool);
 }
 
 FaultyRankResult run_faultyrank(const UnifiedGraph& graph,
@@ -374,10 +474,11 @@ FaultyRankResult run_faultyrank(const UnifiedGraph& graph,
                                 const FaultyRankConfig& config,
                                 ThreadPool* pool) {
   validate_config(config);
-  if (!plan.matches(graph, config.unpaired_weight)) {
+  if (!plan.matches(graph, config.unpaired_weight,
+                    {config.ordering, config.float32})) {
     throw std::invalid_argument(
-        "faultyrank: plan was built from a different graph or "
-        "unpaired_weight");
+        "faultyrank: plan was built from a different graph, "
+        "unpaired_weight, ordering, or precision");
   }
   if (graph.vertex_count() == 0) {
     FaultyRankResult result;
@@ -385,7 +486,7 @@ FaultyRankResult run_faultyrank(const UnifiedGraph& graph,
     result.converged = true;
     return result;
   }
-  return run_planned(graph, plan, config, pool);
+  return dispatch_planned(graph, plan, config, pool);
 }
 
 FaultyRankResult run_faultyrank_reference(const UnifiedGraph& graph,
@@ -440,20 +541,27 @@ FaultyRankResult run_faultyrank_reference(const UnifiedGraph& graph,
                          }) *
         inv_n;
 
-    run_chunked(pool, n, config.serial_grain,
-                [&](std::size_t begin, std::size_t end, std::size_t) {
-                  for (std::size_t v = begin; v < end; ++v) {
-                    double acc = sink_share;
-                    const auto gv = static_cast<Gid>(v);
-                    for (auto slot = reverse.edges_begin(gv);
-                         slot < reverse.edges_end(gv); ++slot) {
-                      const Gid u = reverse.target(slot);
-                      acc += prop_rank[u] *
-                             (1.0 / static_cast<double>(forward.out_degree(u)));
-                    }
-                    next[v] = acc;
-                  }
-                });
+    // Per-vertex gathers accumulate through the same 4-lane tree as the
+    // plan kernel's gather_scalar/gather_avx2 — lane index is relative
+    // slot position mod 4 — so the two kernels stay bit-identical.
+    run_chunked(
+        pool, n, config.serial_grain,
+        [&](std::size_t begin, std::size_t end, std::size_t) {
+          for (std::size_t v = begin; v < end; ++v) {
+            const auto gv = static_cast<Gid>(v);
+            const std::uint64_t s0 = reverse.edges_begin(gv);
+            const std::uint64_t s1 = reverse.edges_end(gv);
+            double lanes[4] = {0.0, 0.0, 0.0, 0.0};
+            for (std::uint64_t slot = s0; slot < s1; ++slot) {
+              const Gid u = reverse.target(slot);
+              lanes[(slot - s0) & 3] +=
+                  prop_rank[u] *
+                  (1.0 / static_cast<double>(forward.out_degree(u)));
+            }
+            next[v] =
+                sink_share + ((lanes[0] + lanes[2]) + (lanes[1] + lanes[3]));
+          }
+        });
 
     // One chunked reduction in the configured norm (the kLInf path used
     // to pay a discarded L1 reduce plus a serial max on the calling
@@ -487,20 +595,25 @@ FaultyRankResult run_faultyrank_reference(const UnifiedGraph& graph,
         pool, n, config.serial_grain,
         [&](std::size_t begin, std::size_t end, std::size_t) {
           for (std::size_t v = begin; v < end; ++v) {
-            double acc = sink_share_reversed;
             const auto gv = static_cast<Gid>(v);
+            const std::uint64_t s0 = forward.edges_begin(gv);
+            const std::uint64_t s1 = forward.edges_end(gv);
+            double lanes[4] = {0.0, 0.0, 0.0, 0.0};
             // Each forward edge v→t is a reversed edge t→v carrying
-            // id_rank[t] scaled by the pairing weight of v→t.
-            for (auto slot = forward.edges_begin(gv);
-                 slot < forward.edges_end(gv); ++slot) {
+            // id_rank[t] scaled by the pairing weight of v→t. A skipped
+            // sink slot still consumes its lane position: in the plan
+            // kernel that slot carries coefficient 0 and contributes an
+            // exact +0.0 to the same lane.
+            for (std::uint64_t slot = s0; slot < s1; ++slot) {
               const Gid t = forward.target(slot);
               const double denom = reversed_weighted_degree[t];
               if (denom == 0.0) continue;  // t handled as reversed sink
               const double w =
                   graph.paired(slot) ? 1.0 : config.unpaired_weight;
-              acc += id_rank[t] * (w / denom);
+              lanes[(slot - s0) & 3] += id_rank[t] * (w / denom);
             }
-            next[v] = acc;
+            next[v] = sink_share_reversed +
+                      ((lanes[0] + lanes[2]) + (lanes[1] + lanes[3]));
           }
         });
     prop_rank.swap(next);

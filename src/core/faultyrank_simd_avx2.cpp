@@ -1,0 +1,65 @@
+// AVX2 implementations of the canonical gather tree (rank_gather.h).
+//
+// This TU is the only one compiled with -mavx2; everything else in
+// fr_core must stay runnable on a baseline x86-64, which is why the
+// dispatcher guards every call with cpu_supports_avx2(). Like the rest
+// of the project it is compiled with -ffp-contract=off: the scalar
+// tails below must round rank·coeff before adding, exactly as
+// gather_scalar does, or the last 1–3 slots of odd-degree vertices
+// would break bit-identity.
+
+#include <immintrin.h>
+
+#include "core/rank_gather.h"
+
+namespace faultyrank::detail {
+
+bool cpu_supports_avx2() noexcept {
+  return __builtin_cpu_supports("avx2") != 0;
+}
+
+double gather_avx2_f64(const Gid* targets, const double* coeff,
+                       std::uint64_t count, const double* rank) noexcept {
+  __m256d acc = _mm256_setzero_pd();
+  std::uint64_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m128i idx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(targets + i));
+    const __m256d gathered = _mm256_i32gather_pd(rank, idx, 8);
+    // mul then add, never FMA — one rounding per operation, matching
+    // the scalar lanes.
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(gathered,
+                                           _mm256_loadu_pd(coeff + i)));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  // Tail starts at a multiple of 4, so i & 3 is the same lane the
+  // scalar loop's i % kLanes would pick.
+  for (; i < count; ++i) {
+    lanes[i & 3] += rank[targets[i]] * coeff[i];
+  }
+  return (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
+}
+
+float gather_avx2_f32(const Gid* targets, const float* coeff,
+                      std::uint64_t count, const float* rank) noexcept {
+  __m256 acc = _mm256_setzero_ps();
+  std::uint64_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(targets + i));
+    const __m256 gathered = _mm256_i32gather_ps(rank, idx, 4);
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(gathered,
+                                           _mm256_loadu_ps(coeff + i)));
+  }
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, acc);
+  for (; i < count; ++i) {
+    lanes[i & 7] += rank[targets[i]] * coeff[i];
+  }
+  float half[4];
+  for (std::size_t j = 0; j < 4; ++j) half[j] = lanes[j] + lanes[j + 4];
+  return (half[0] + half[2]) + (half[1] + half[3]);
+}
+
+}  // namespace faultyrank::detail

@@ -67,6 +67,12 @@ class Csr {
   [[nodiscard]] Gid target(std::uint64_t slot) const noexcept {
     return targets_[slot];
   }
+  /// The raw slot→target array. The SIMD rank kernels feed four/eight
+  /// consecutive entries straight into a vector gather, so they need
+  /// the contiguous storage, not the per-slot accessor.
+  [[nodiscard]] std::span<const Gid> targets() const noexcept {
+    return targets_;
+  }
   [[nodiscard]] EdgeKind kind(std::uint64_t slot) const noexcept {
     return kinds_[slot];
   }

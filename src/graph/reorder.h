@@ -1,0 +1,85 @@
+// Locality-oriented vertex reordering for the rank kernels
+// (DESIGN.md §14).
+//
+// The pull-style rank sweeps gather rank[target(slot)] for every edge
+// slot; on a graph whose Gids were assigned in scan order those targets
+// are scattered across the whole rank array and nearly every gather is
+// a cache miss. Relabeling vertices so that frequently-referenced or
+// topologically-close vertices get nearby ids turns those gathers into
+// mostly-resident loads. The relabeling is a pure renaming: the edge
+// multiset, degrees, pairing flags, and per-edge coefficients are all
+// carried over verbatim, so the rank fixpoint is the same function of
+// the graph — only summation order (and thus low-order bits) follows
+// the chosen ordering. Results are reported back in original Gid space
+// via the inverse permutation.
+//
+// Two orderings, both deterministic pure functions of the graph:
+//   kDegree — hottest-first: vertices sorted by total degree
+//             descending. The few high-degree hubs an RMAT/file-system
+//             graph gathers over and over end up packed into the first
+//             few pages of the rank array.
+//   kRcm    — reverse Cuthill–McKee over the undirected union of the
+//             forward and reverse adjacency: BFS from a minimum-degree
+//             seed, neighbours visited degree-ascending, order
+//             reversed. Classic bandwidth reduction, so gather targets
+//             cluster near the sweeping vertex's own index.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace faultyrank {
+
+class UnifiedGraph;
+
+/// Which vertex relabeling the rank kernels sweep under.
+enum class VertexOrdering : std::uint8_t {
+  kNone = 0,    ///< original scan-order Gids, no permutation built
+  kDegree = 1,  ///< total degree descending, ties by original Gid
+  kRcm = 2,     ///< reverse Cuthill–McKee over the undirected union
+};
+
+[[nodiscard]] constexpr const char* to_string(VertexOrdering o) noexcept {
+  switch (o) {
+    case VertexOrdering::kNone: return "none";
+    case VertexOrdering::kDegree: return "degree";
+    case VertexOrdering::kRcm: return "rcm";
+  }
+  return "?";
+}
+
+/// A vertex relabeling and its inverse. Either both vectors have the
+/// graph's vertex count or both are empty (identity).
+struct VertexPermutation {
+  /// new_of_old[old Gid] == new Gid.
+  std::vector<Gid> new_of_old;
+  /// old_of_new[new Gid] == old Gid.
+  std::vector<Gid> old_of_new;
+
+  [[nodiscard]] bool empty() const noexcept { return new_of_old.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return new_of_old.size(); }
+  [[nodiscard]] std::uint64_t bytes() const noexcept {
+    return (new_of_old.capacity() + old_of_new.capacity()) * sizeof(Gid);
+  }
+};
+
+/// Computes the permutation for `ordering` — a deterministic pure
+/// function of the graph's adjacency (no RNG, no pool dependence).
+/// kNone yields the empty (identity) permutation.
+[[nodiscard]] VertexPermutation compute_ordering(const UnifiedGraph& graph,
+                                                 VertexOrdering ordering);
+
+/// The forward edge list of `forward` with both endpoints renamed
+/// through `perm` (kinds preserved). Feeding this to Csr::build yields
+/// exactly the CSR that Csr::build would produce for the relabeled
+/// graph — the same path UnifiedGraph::from_edges takes, which is what
+/// makes relabel-vs-rebuild golden tests exact.
+[[nodiscard]] std::vector<GidEdge> relabel_edges(const Csr& forward,
+                                                 const VertexPermutation& perm);
+
+}  // namespace faultyrank

@@ -1,0 +1,135 @@
+// The SIMD half of the bit-identity contract (DESIGN.md §14): the AVX2
+// gathers must reproduce the canonical scalar lane tree bit-for-bit for
+// every count (full vectors, tails of 1–3/1–7, empty), and a whole
+// kernel run with SIMD enabled must equal the scalar run exactly.
+#include "core/rank_gather.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "core/faultyrank.h"
+#include "core/propagation_plan.h"
+#include "workload/rmat.h"
+
+namespace faultyrank {
+namespace {
+
+#if defined(FAULTYRANK_SIMD)
+
+class SimdGatherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!detail::cpu_supports_avx2()) {
+      GTEST_SKIP() << "CPU lacks AVX2 — scalar-only machine";
+    }
+  }
+};
+
+TEST_F(SimdGatherTest, Float64MatchesScalarBitwiseForEveryCount) {
+  Rng rng(42);
+  constexpr std::size_t kRankSize = 4096;
+  std::vector<double> rank(kRankSize);
+  for (auto& r : rank) r = rng.uniform(0.0, 8.0);
+
+  for (std::uint64_t count = 0; count <= 70; ++count) {
+    std::vector<Gid> targets(count);
+    std::vector<double> coeff(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      targets[i] = static_cast<Gid>(rng.below(kRankSize));
+      // Mix in exact zeros — the skipped-slot case of pass 2.
+      coeff[i] = rng.chance(0.2) ? 0.0 : rng.uniform(0.0, 1.0);
+    }
+    const double scalar = detail::gather_scalar<double>(
+        targets.data(), coeff.data(), count, rank.data());
+    const double simd = detail::gather_avx2_f64(targets.data(), coeff.data(),
+                                                count, rank.data());
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(scalar),
+              std::bit_cast<std::uint64_t>(simd))
+        << "count=" << count << ": " << scalar << " vs " << simd;
+  }
+}
+
+TEST_F(SimdGatherTest, Float32MatchesScalarBitwiseForEveryCount) {
+  Rng rng(43);
+  constexpr std::size_t kRankSize = 4096;
+  std::vector<float> rank(kRankSize);
+  for (auto& r : rank) r = static_cast<float>(rng.uniform(0.0, 8.0));
+
+  for (std::uint64_t count = 0; count <= 70; ++count) {
+    std::vector<Gid> targets(count);
+    std::vector<float> coeff(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      targets[i] = static_cast<Gid>(rng.below(kRankSize));
+      coeff[i] =
+          rng.chance(0.2) ? 0.0f : static_cast<float>(rng.uniform(0.0, 1.0));
+    }
+    const float scalar = detail::gather_scalar<float>(
+        targets.data(), coeff.data(), count, rank.data());
+    const float simd = detail::gather_avx2_f32(targets.data(), coeff.data(),
+                                               count, rank.data());
+    ASSERT_EQ(std::bit_cast<std::uint32_t>(scalar),
+              std::bit_cast<std::uint32_t>(simd))
+        << "count=" << count << ": " << scalar << " vs " << simd;
+  }
+}
+
+TEST_F(SimdGatherTest, KernelRunsIdenticallyWithAndWithoutSimd) {
+  const GeneratedGraph gen = generate_rmat({.scale = 12, .avg_degree = 8});
+  const UnifiedGraph g = UnifiedGraph::from_edges(gen.vertex_count, gen.edges);
+  FaultyRankConfig config;
+  config.epsilon = 1e-7;
+  config.max_iterations = 40;
+
+  FaultyRankConfig scalar_config = config;
+  scalar_config.use_simd = false;
+  const FaultyRankResult scalar = run_faultyrank(g, scalar_config);
+  const FaultyRankResult simd = run_faultyrank(g, config);
+
+  EXPECT_EQ(scalar.iterations, simd.iterations);
+  ASSERT_EQ(scalar.id_rank.size(), simd.id_rank.size());
+  for (std::size_t v = 0; v < scalar.id_rank.size(); ++v) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(scalar.id_rank[v]),
+              std::bit_cast<std::uint64_t>(simd.id_rank[v]))
+        << "id_rank diverges at " << v;
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(scalar.prop_rank[v]),
+              std::bit_cast<std::uint64_t>(simd.prop_rank[v]))
+        << "prop_rank diverges at " << v;
+  }
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(scalar.final_diff),
+            std::bit_cast<std::uint64_t>(simd.final_diff));
+}
+
+TEST_F(SimdGatherTest, Float32KernelRunsIdenticallyWithAndWithoutSimd) {
+  const GeneratedGraph gen = generate_rmat({.scale = 11, .avg_degree = 8});
+  const UnifiedGraph g = UnifiedGraph::from_edges(gen.vertex_count, gen.edges);
+  FaultyRankConfig config;
+  config.epsilon = 1e-5;
+  config.float32 = true;
+
+  FaultyRankConfig scalar_config = config;
+  scalar_config.use_simd = false;
+  const FaultyRankResult scalar = run_faultyrank(g, scalar_config);
+  const FaultyRankResult simd = run_faultyrank(g, config);
+
+  ASSERT_EQ(scalar.id_rank.size(), simd.id_rank.size());
+  for (std::size_t v = 0; v < scalar.id_rank.size(); ++v) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(scalar.id_rank[v]),
+              std::bit_cast<std::uint64_t>(simd.id_rank[v]))
+        << "float32 id_rank diverges at " << v;
+  }
+}
+
+#else  // !FAULTYRANK_SIMD
+
+TEST(SimdGatherTest, CompiledOut) {
+  GTEST_SKIP() << "FAULTYRANK_SIMD is OFF — nothing to compare";
+}
+
+#endif  // FAULTYRANK_SIMD
+
+}  // namespace
+}  // namespace faultyrank

@@ -1,0 +1,144 @@
+#include "graph/reorder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "graph/unified_graph.h"
+
+namespace faultyrank {
+namespace {
+
+UnifiedGraph star_graph() {
+  // Hub 3 referenced by everyone; spokes point at the hub and the hub
+  // points back at even spokes (mix of paired/unpaired is irrelevant
+  // here — reordering only reads adjacency).
+  std::vector<GidEdge> edges;
+  for (Gid v = 0; v < 8; ++v) {
+    if (v == 3) continue;
+    edges.push_back({v, 3, EdgeKind::kDirent});
+    if (v % 2 == 0) edges.push_back({3, v, EdgeKind::kLinkEa});
+  }
+  return UnifiedGraph::from_edges(8, edges);
+}
+
+void expect_bijection(const VertexPermutation& perm, std::size_t n) {
+  ASSERT_EQ(perm.new_of_old.size(), n);
+  ASSERT_EQ(perm.old_of_new.size(), n);
+  std::vector<bool> seen(n, false);
+  for (std::size_t v = 0; v < n; ++v) {
+    const Gid nv = perm.new_of_old[v];
+    ASSERT_LT(nv, n);
+    EXPECT_FALSE(seen[nv]) << "new id " << nv << " assigned twice";
+    seen[nv] = true;
+    EXPECT_EQ(perm.old_of_new[nv], v);
+  }
+}
+
+TEST(ReorderTest, NoneIsIdentity) {
+  const auto graph = star_graph();
+  const auto perm = compute_ordering(graph, VertexOrdering::kNone);
+  EXPECT_TRUE(perm.empty());
+  EXPECT_EQ(perm.size(), 0u);
+}
+
+TEST(ReorderTest, DegreeOrderingPacksHubsFirst) {
+  const auto graph = star_graph();
+  const auto perm = compute_ordering(graph, VertexOrdering::kDegree);
+  expect_bijection(perm, 8);
+  // The hub has by far the largest total degree → new id 0.
+  EXPECT_EQ(perm.new_of_old[3], 0u);
+  // Degrees are non-increasing along the new order.
+  const auto deg = [&](Gid old_v) {
+    return graph.forward().out_degree(old_v) +
+           graph.reverse().out_degree(old_v);
+  };
+  for (std::size_t i = 0; i + 1 < perm.old_of_new.size(); ++i) {
+    EXPECT_GE(deg(perm.old_of_new[i]), deg(perm.old_of_new[i + 1])) << i;
+  }
+}
+
+TEST(ReorderTest, RcmShrinksPathBandwidth) {
+  // A path on 16 vertices with deliberately scattered original ids:
+  // old id of path position p is (p * 7) % 16 (7 ⟂ 16 → a bijection).
+  std::vector<Gid> at_pos(16);
+  for (std::size_t p = 0; p < 16; ++p) at_pos[p] = static_cast<Gid>(p * 7 % 16);
+  std::vector<GidEdge> edges;
+  for (std::size_t p = 0; p + 1 < 16; ++p) {
+    edges.push_back({at_pos[p], at_pos[p + 1], EdgeKind::kGeneric});
+  }
+  const auto graph = UnifiedGraph::from_edges(16, edges);
+
+  const auto perm = compute_ordering(graph, VertexOrdering::kRcm);
+  expect_bijection(perm, 16);
+  // RCM renumbers a path so neighbours get adjacent ids: bandwidth 1.
+  for (const GidEdge& e : edges) {
+    const auto a = static_cast<long>(perm.new_of_old[e.src]);
+    const auto b = static_cast<long>(perm.new_of_old[e.dst]);
+    EXPECT_EQ(std::abs(a - b), 1) << e.src << "->" << e.dst;
+  }
+}
+
+TEST(ReorderTest, OrderingsAreDeterministic) {
+  const auto graph = star_graph();
+  for (const auto ordering :
+       {VertexOrdering::kDegree, VertexOrdering::kRcm}) {
+    const auto a = compute_ordering(graph, ordering);
+    const auto b = compute_ordering(graph, ordering);
+    EXPECT_EQ(a.new_of_old, b.new_of_old) << to_string(ordering);
+    EXPECT_EQ(a.old_of_new, b.old_of_new) << to_string(ordering);
+  }
+}
+
+TEST(ReorderTest, RcmCoversDisconnectedComponents) {
+  std::vector<GidEdge> edges = {
+      {0, 1, EdgeKind::kGeneric},
+      {2, 3, EdgeKind::kGeneric},
+      {3, 4, EdgeKind::kGeneric},
+  };
+  // Vertices 5..7 are isolated.
+  const auto graph = UnifiedGraph::from_edges(8, edges);
+  const auto perm = compute_ordering(graph, VertexOrdering::kRcm);
+  expect_bijection(perm, 8);
+}
+
+TEST(ReorderTest, RelabelEdgesRoundTrip) {
+  const auto graph = star_graph();
+  const auto perm = compute_ordering(graph, VertexOrdering::kDegree);
+  const auto relabeled = relabel_edges(graph.forward(), perm);
+  ASSERT_EQ(relabeled.size(), graph.edge_count());
+  const Csr csr = Csr::build(graph.vertex_count(), relabeled);
+
+  // Every original edge (u, v, kind) exists as (new(u), new(v), kind)
+  // with the same multiplicity, and the totals agree.
+  EXPECT_EQ(csr.edge_count(), graph.edge_count());
+  const std::size_t n = graph.vertex_count();
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto gv = static_cast<Gid>(v);
+    const Gid nv = perm.new_of_old[v];
+    ASSERT_EQ(csr.out_degree(nv), graph.forward().out_degree(gv));
+    const std::uint64_t end = graph.forward().edges_end(gv);
+    for (std::uint64_t slot = graph.forward().edges_begin(gv); slot < end;
+         ++slot) {
+      const Gid t = graph.forward().target(slot);
+      EXPECT_TRUE(csr.has_edge(nv, perm.new_of_old[t],
+                               graph.forward().kind(slot)));
+      EXPECT_EQ(csr.edge_multiplicity(nv, perm.new_of_old[t]),
+                graph.forward().edge_multiplicity(gv, t));
+    }
+  }
+
+  // Identity relabel through the empty permutation is a no-op list.
+  const auto identity = relabel_edges(graph.forward(), VertexPermutation{});
+  const Csr same = Csr::build(graph.vertex_count(), identity);
+  EXPECT_EQ(same.edge_count(), graph.edge_count());
+  for (std::size_t v = 0; v < n; ++v) {
+    EXPECT_EQ(same.out_degree(static_cast<Gid>(v)),
+              graph.forward().out_degree(static_cast<Gid>(v)));
+  }
+}
+
+}  // namespace
+}  // namespace faultyrank
