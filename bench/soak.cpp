@@ -194,7 +194,8 @@ class Soak {
 };
 
 void Soak::inject_next() {
-  const Scenario scenario = kAllScenarios[next_scenario_ % 8];
+  const std::span<const Scenario> scenarios = FaultInjector::scenario_list();
+  const Scenario scenario = scenarios[next_scenario_ % scenarios.size()];
   ++next_scenario_;
   try {
     Planted p;

@@ -60,11 +60,17 @@ run cmake --build --preset deadlock -j "${JOBS}"
 run ctest --preset deadlock -j "${JOBS}"
 
 # 5. Robustness gate: the `robustness`-labelled suite (operational
-#    faults, degraded coverage, checkpoint/resume determinism) plus the
-#    fault-campaign smoke — one seed of metadata faults + a mid-scan OST
-#    crash; exits non-zero on any false positive or missed recall.
+#    faults, degraded coverage, checkpoint/resume determinism, crash
+#    states) plus the fault-campaign smoke — one seed of metadata
+#    faults + a mid-scan OST crash; exits non-zero on any false
+#    positive or missed recall. The crash-matrix smoke then replays a
+#    slice of the enumerated-crash + fuzz campaign (DESIGN.md §15):
+#    every ground-truthed state must repair to convergence with zero
+#    false positives, and raw-bytes fuzzing must stay behind
+#    PersistenceError.
 run ctest --preset default -j "${JOBS}" -L robustness --output-on-failure
 run ./build/bench/fault_campaign --smoke
+run ./build/bench/crash_matrix --smoke --out build/BENCH_crash_smoke.json
 
 # 5b. Cluster-life soak smoke: traffic + injected faults + the online
 #     checker + checkpointed offline passes on one cluster; exits

@@ -186,6 +186,12 @@ RepairOutcome RepairExecutor::add_back_pointer(const RepairAction& action) {
       return success(action, "filter_fid restored");
     }
     case EdgeKind::kDirent: {
+      // Planting a dirent on anything but a directory would create an
+      // entry no scan reads back — the inconsistency would look
+      // repaired here yet persist in every later check.
+      if (inode.type != InodeType::kDirectory) {
+        return failure(action, "refusing dirent on a non-directory");
+      }
       // Recover the child's names from its LinkEA. A child hard-linked
       // into this directory under several names needs one dirent per
       // link, so restore entries until the multiplicities match (the
@@ -394,27 +400,56 @@ RepairOutcome RepairExecutor::quarantine(const RepairAction& action) {
 
   // OST object: materialize a stub file in lost+found that owns it, so
   // the user can recover the stripe's data.
-  const std::string name = "lfobj_" + inode.lma_fid.to_string();
   const Fid object_fid = inode.lma_fid;
   const std::uint32_t ost_index = located->ost_index;
   Inode* lf = lf_home->image.find_by_fid(lost_found);
   if (lf == nullptr) return failure(action, "lost+found unavailable");
 
+  // A quarantined object must not keep a *contested* id (another live
+  // object carries the same fid): the stub's layout slot would lay a
+  // fresh claim on the shared id, the next round's duplicate-claim pass
+  // would strip that slot, and the object would orphan again — the two
+  // repairs would ping-pong forever. Re-identify this claimant under a
+  // fresh id from its OST's allocator; the other claimant keeps the
+  // original id and can still pair with whatever references it.
+  Fid stub_target = object_fid;
+  std::size_t claimants = 0;
+  const auto tally = [&](const Inode& other) {
+    if (other.lma_fid == object_fid) ++claimants;
+  };
+  for (std::size_t m = 0; m < cluster_.mdt_count(); ++m) {
+    cluster_.mdt_server(m).image.for_each_inode(tally);
+  }
+  for (const OstServer& ost : cluster_.osts()) {
+    ost.image.for_each_inode(tally);
+  }
+  if (claimants > 1) {
+    stub_target = cluster_.ost(ost_index).fids.next();
+    if (located->image->find_by_fid(object_fid) == &inode) {
+      located->image->oi_erase(object_fid);
+    }
+    inode.lma_fid = stub_target;
+    located->image->oi_insert(stub_target, inode.ino);
+  }
+
+  const std::string name = "lfobj_" + stub_target.to_string();
   Inode& stub = lf_home->image.allocate(InodeType::kRegular);
   stub.lma_fid = lf_home->fids.next();
   stub.link_ea.push_back({lost_found, name});
   stub.lov_ea = LovEa{cluster_.default_policy().stripe_size, 1,
-                      {{object_fid, ost_index}}};
+                      {{stub_target, ost_index}}};
   lf_home->image.oi_insert(stub.lma_fid, stub.ino);
   // Re-fetch lost+found (allocate may have grown the table).
   lf = lf_home->image.find_by_fid(lost_found);
   lf->dirents.push_back({name, stub.lma_fid, stub.ino});
-  // Point the orphan back at its new stub owner.
-  Inode* object = located->image->find_by_fid_raw(object_fid);
-  if (object != nullptr) {
-    object->filter_fid = FilterFid{stub.lma_fid, 0};
-  }
-  return success(action, "orphan object stubbed into lost+found");
+  // Point the orphan back at its new stub owner. `inode` stays valid:
+  // the stub allocation touched the MDT image, not this OST's table.
+  inode.filter_fid = FilterFid{stub.lma_fid, 0};
+  return success(action, claimants > 1
+                             ? "orphan re-identified as " +
+                                   stub_target.to_string() +
+                                   " and stubbed into lost+found"
+                             : "orphan object stubbed into lost+found");
 }
 
 }  // namespace faultyrank

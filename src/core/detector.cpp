@@ -106,6 +106,9 @@ struct Ctx {
   [[nodiscard]] bool scanned(Gid v) const {
     return graph.vertices().is_scanned(v);
   }
+  [[nodiscard]] ObjectKind okind(Gid v) const {
+    return graph.vertices().kind_of(v);
+  }
   [[nodiscard]] std::uint64_t in_degree(Gid v) const {
     return graph.paired_in_degree(v) + graph.unpaired_in_degree(v);
   }
@@ -116,6 +119,27 @@ struct Ctx {
 /// stripe).
 [[nodiscard]] constexpr bool kind_is_exclusive(EdgeKind kind) noexcept {
   return kind == EdgeKind::kDirent || kind == EdgeKind::kLovEa;
+}
+
+/// Whether a scanned object of kind `obj` can carry property entries of
+/// edge kind `kind` at all: a regular file has no DIRENTs, a stripe
+/// object no LOVEA. No repair of such a target could ever reconcile an
+/// edge expecting that point-back.
+[[nodiscard]] constexpr bool kind_can_carry(ObjectKind obj,
+                                            EdgeKind kind) noexcept {
+  switch (kind) {
+    case EdgeKind::kDirent:
+      return obj == ObjectKind::kDirectory;
+    case EdgeKind::kLinkEa:
+      return obj == ObjectKind::kDirectory || obj == ObjectKind::kFile;
+    case EdgeKind::kLovEa:
+      return obj == ObjectKind::kFile;
+    case EdgeKind::kObjParent:
+      return obj == ObjectKind::kStripeObject;
+    case EdgeKind::kGeneric:
+      return true;
+  }
+  return true;
 }
 
 void fill_rank_evidence(const Ctx& ctx, Gid src, Gid dst, Finding& f) {
@@ -253,6 +277,23 @@ void handle_dangling(Ctx& ctx, const UnpairedEdge& e,
                 kNullFid, e.kind, kNullFid,
                 "drop reference to a non-existent id"};
     f.note = "referencing property has no corroborating neighbours";
+  } else if (ctx.in_degree(e.dst) <= 1) {
+    // Elimination: coverage over the target's fid space is complete
+    // (the unverifiable branch above fired otherwise), nothing scanned
+    // carries the id, no stranded counterpart points back, and this is
+    // the phantom's only referrer. Destructive ops interrupted after
+    // freeing their object leave exactly this shape, and without the
+    // drop no repair round ever reconciles it. A phantom several
+    // objects endorse stays undetermined below — a shared id hints at
+    // a mis-identified object the scan has not explained.
+    f.culprit = FaultyField::kSourceProperty;
+    f.convicted_object = ctx.fid(e.src);
+    f.convicted_id_field = false;
+    f.repair = {RepairKind::kRemoveReference, ctx.fid(e.src), ctx.fid(e.dst),
+                kNullFid, e.kind, kNullFid,
+                "drop the only reference to an id no server carries"};
+    f.note = "dangling reference convicted by elimination: full coverage, "
+             "sole referrer, no counterpart answers";
   } else {
     f.culprit = FaultyField::kUndetermined;
     f.repair.kind = RepairKind::kNone;
@@ -299,6 +340,24 @@ void handle_mismatch(Ctx& ctx, const UnpairedEdge& e,
   ctx.count_kind(e.dst, pk, target_pk_paired, target_pk_unpaired);
   if (target_pk_paired + target_pk_unpaired == 0 &&
       ctx.fid(e.dst) != ctx.config.root) {
+    if (ctx.scanned(e.dst) && !kind_can_carry(ctx.okind(e.dst), pk)) {
+      // The target answers no point-back because it *cannot*: its kind
+      // never carries entries of the paired property (a corrupted
+      // reference landed on a live object of the wrong type). Rebuilding
+      // the target's property would plant an entry the scanner never
+      // reads back, so the edge would stay unpaired forever — the
+      // reference itself is the culprit.
+      f.culprit = FaultyField::kSourceProperty;
+      f.convicted_object = ctx.fid(e.src);
+      f.convicted_id_field = false;
+      f.repair = {RepairKind::kRemoveReference, ctx.fid(e.src),
+                  ctx.fid(e.dst), kNullFid, e.kind, kNullFid,
+                  "drop a reference its target can never answer"};
+      f.note = "target cannot carry the paired property kind; the "
+               "reference is structurally impossible";
+      out.push_back(std::move(f));
+      return;
+    }
     f.culprit = FaultyField::kTargetProperty;
     f.convicted_object = ctx.fid(e.dst);
     f.convicted_id_field = false;
@@ -363,6 +422,23 @@ void handle_mismatch(Ctx& ctx, const UnpairedEdge& e,
                   "restore lost point-back from the referencing object's id"};
       f.note = "source id corroborated by paired neighbours; target property "
                "rank below threshold";
+    } else if (e.kind == EdgeKind::kLinkEa || e.kind == EdgeKind::kDirent) {
+      // Naming edges are the ordered sub-updates of one namespace op
+      // (mkdir/create/link write the LinkEA before the DIRENT; rename
+      // rewrites the LinkEA first). One side present without the other
+      // is the signature of an interrupted op, not something the hub
+      // directory's rank can arbitrate — roll the op forward by
+      // restoring the missing point-back from the side that was
+      // written. (The exclusive-claims guard above already routed
+      // multi-claimant targets to the double-reference handler.)
+      f.culprit = FaultyField::kTargetProperty;
+      f.convicted_object = ctx.fid(e.dst);
+      f.convicted_id_field = false;
+      f.repair = {RepairKind::kAddBackPointer, ctx.fid(e.dst), ctx.fid(e.src),
+                  kNullFid, paired_kind(e.kind), kNullFid,
+                  "restore the missing point-back of an interrupted "
+                  "namespace op"};
+      f.note = "source id corroborated; naming edge rolled forward";
     } else {
       f.culprit = FaultyField::kUndetermined;
       f.repair.kind = RepairKind::kNone;

@@ -1,0 +1,401 @@
+#include "faults/crash_states.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "pfs/persistence.h"
+
+namespace faultyrank {
+
+namespace {
+
+/// Splits an absolute path into (parent path, leaf name).
+std::pair<std::string, std::string> split_path(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos || path.size() < 2) {
+    throw CrashStateError("crash op: path must be absolute: " + path);
+  }
+  std::string parent = path.substr(0, slash);
+  if (parent.empty()) parent = "/";
+  return {parent, path.substr(slash + 1)};
+}
+
+class CountingHook final : public CrashHook {
+ public:
+  void reached(const CrashSite& site) override {
+    points.push_back(std::string(site.op) + "/" + site.point);
+  }
+  std::vector<std::string> points;
+};
+
+class CrashAtHook final : public CrashHook {
+ public:
+  explicit CrashAtHook(std::size_t index) : index_(index) {}
+  void reached(const CrashSite& site) override {
+    if (fired_++ == index_) {
+      site_ = std::string(site.op) + "/" + site.point;
+      throw CrashUnwind(site);
+    }
+  }
+  [[nodiscard]] const std::string& site() const noexcept { return site_; }
+
+ private:
+  std::size_t index_;
+  std::size_t fired_ = 0;
+  std::string site_;
+};
+
+const DirentEntry* find_dirent(const Inode& dir, const std::string& name) {
+  for (const auto& entry : dir.dirents) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+void erase_dirent(Inode& dir, const std::string& name) {
+  const auto it =
+      std::find_if(dir.dirents.begin(), dir.dirents.end(),
+                   [&](const DirentEntry& e) { return e.name == name; });
+  if (it != dir.dirents.end()) dir.dirents.erase(it);
+}
+
+/// Raw scan of every MDT for an in-use inode whose LinkEA names
+/// {parent, name}; returns its ino (0 when absent) and home MDT index.
+struct LinkEaHit {
+  std::uint64_t ino = 0;
+  std::size_t mdt = 0;
+  Fid fid;
+};
+std::optional<LinkEaHit> find_by_linkea(LustreCluster& cluster,
+                                        const Fid& parent,
+                                        const std::string& name) {
+  for (std::size_t m = 0; m < cluster.mdt_count(); ++m) {
+    std::optional<LinkEaHit> hit;
+    cluster.mdt_server(m).image.for_each_inode([&](const Inode& inode) {
+      if (hit.has_value()) return;
+      for (const auto& link : inode.link_ea) {
+        if (link.parent == parent && link.name == name) {
+          hit = LinkEaHit{inode.ino, m, inode.lma_fid};
+          return;
+        }
+      }
+    });
+    if (hit.has_value()) return hit;
+  }
+  return std::nullopt;
+}
+
+/// Undoes a partially created child (mkdir/create rollback): frees any
+/// stripe objects pointing back at it, drops its OI mapping, releases
+/// the inode, and removes the parent DIRENT if it got that far.
+void rollback_partial_child(LustreCluster& cluster, const Fid& parent_fid,
+                            const CrashOpSpec& spec) {
+  Inode* parent = cluster.find_mdt_inode(parent_fid);
+  if (parent == nullptr) {
+    throw CrashStateError("rollback: parent vanished");
+  }
+  erase_dirent(*parent, spec.name);
+
+  // Find the half-made child: by LinkEA when the op got that far …
+  std::optional<LinkEaHit> hit = find_by_linkea(cluster, parent_fid, spec.name);
+  if (!hit.has_value()) {
+    // … otherwise probe the home MDTs' newest allocation: a crash right
+    // after allocate leaves an inode whose fid the OI has never seen
+    // (every committed object has an OI mapping).
+    for (std::size_t m = 0; m < cluster.mdt_count() && !hit; ++m) {
+      MdtServer& mdt = cluster.mdt_server(m);
+      const Fid probe{mdt.fids.seq(), mdt.fids.allocated(), 0};
+      if (probe.oid == 0) continue;
+      if (mdt.image.find_by_fid(probe) != nullptr) continue;  // committed
+      if (const Inode* inode = mdt.image.find_by_fid_raw(probe)) {
+        if (inode->link_ea.empty() && inode->dirents.empty()) {
+          hit = LinkEaHit{inode->ino, m, inode->lma_fid};
+        }
+      }
+    }
+  }
+  if (!hit.has_value()) return;  // crashed before allocating anything
+
+  // Free stripe objects the interrupted create already allocated.
+  if (spec.kind == CrashOpKind::kCreate) {
+    for (auto& ost : cluster.osts()) {
+      std::vector<std::uint64_t> doomed;
+      ost.image.for_each_inode([&](const Inode& inode) {
+        if (inode.filter_fid.has_value() &&
+            inode.filter_fid->parent == hit->fid) {
+          doomed.push_back(inode.ino);
+        }
+      });
+      for (const std::uint64_t ino : doomed) ost.image.release(ino);
+    }
+  }
+  cluster.mdt_server(hit->mdt).image.release(hit->ino);
+}
+
+/// Completes an interrupted unlink from wherever it stopped, mirroring
+/// the op's own sub-update order so the final state matches a clean
+/// run: LinkEA, stripe objects in layout order, the child inode, and
+/// last the parent DIRENT.
+RecoveryAction roll_forward_unlink(LustreCluster& cluster,
+                                   const Fid& parent_fid,
+                                   const CrashOpSpec& spec) {
+  Inode* parent = cluster.find_mdt_inode(parent_fid);
+  if (parent == nullptr) {
+    throw CrashStateError("recover unlink: parent vanished");
+  }
+  const DirentEntry* entry = find_dirent(*parent, spec.name);
+  if (entry == nullptr) return RecoveryAction::kNone;  // op completed
+  const Fid child_fid = entry->fid;
+
+  MdtServer* home = cluster.mdt_for(child_fid);
+  Inode* child =
+      home != nullptr ? home->image.find_by_fid_raw(child_fid) : nullptr;
+  if (child != nullptr) {
+    bool removes_object = true;
+    if (child->type == InodeType::kRegular) {
+      std::erase_if(child->link_ea, [&](const LinkEaEntry& link) {
+        return link.parent == parent_fid && link.name == spec.name;
+      });
+      removes_object = child->link_ea.empty();
+      if (removes_object && child->lov_ea.has_value()) {
+        for (const auto& slot : child->lov_ea->stripes) {
+          OstServer& ost = cluster.ost(slot.ost_index);
+          if (const Inode* obj = ost.image.find_by_fid(slot.stripe)) {
+            ost.image.release(obj->ino);
+          }
+        }
+      }
+    }
+    if (removes_object) home->image.release(child->ino);
+  }
+  Inode* parent2 = cluster.find_mdt_inode(parent_fid);
+  erase_dirent(*parent2, spec.name);
+  return RecoveryAction::kRolledForward;
+}
+
+}  // namespace
+
+const char* to_string(CrashOpKind kind) noexcept {
+  switch (kind) {
+    case CrashOpKind::kMkdir: return "mkdir";
+    case CrashOpKind::kCreate: return "create";
+    case CrashOpKind::kHardLink: return "hardlink";
+    case CrashOpKind::kUnlink: return "unlink";
+    case CrashOpKind::kRename: return "rename";
+  }
+  return "?";
+}
+
+const char* to_string(RecoveryAction action) noexcept {
+  switch (action) {
+    case RecoveryAction::kNone: return "none";
+    case RecoveryAction::kRolledForward: return "rolled-forward";
+    case RecoveryAction::kRolledBack: return "rolled-back";
+  }
+  return "?";
+}
+
+std::string CrashOpSpec::describe() const {
+  std::string out = to_string(kind);
+  out += ' ';
+  if (!src_path.empty()) {
+    out += src_path;
+    out += " -> ";
+  }
+  out += parent_path == "/" ? "" : parent_path;
+  out += '/';
+  out += name;
+  return out;
+}
+
+Fid apply_crash_op(LustreCluster& cluster, const CrashOpSpec& spec) {
+  switch (spec.kind) {
+    case CrashOpKind::kMkdir:
+      return cluster.mkdir(cluster.resolve(spec.parent_path), spec.name);
+    case CrashOpKind::kCreate:
+      return cluster.create_file(cluster.resolve(spec.parent_path), spec.name,
+                                 spec.size);
+    case CrashOpKind::kHardLink: {
+      const Fid file = cluster.resolve(spec.src_path);
+      cluster.link(file, cluster.resolve(spec.parent_path), spec.name);
+      return file;
+    }
+    case CrashOpKind::kUnlink: {
+      const Fid parent = cluster.resolve(spec.parent_path);
+      const Fid child = cluster.resolve(
+          (spec.parent_path == "/" ? "" : spec.parent_path) + "/" + spec.name);
+      cluster.unlink(parent, spec.name);
+      return child;
+    }
+    case CrashOpKind::kRename: {
+      const auto [src_parent, src_name] = split_path(spec.src_path);
+      return cluster.rename(cluster.resolve(src_parent), src_name,
+                            cluster.resolve(spec.parent_path), spec.name);
+    }
+  }
+  throw CrashStateError("apply_crash_op: unknown op kind");
+}
+
+CrashStateEnumerator::CrashStateEnumerator(const LustreCluster& base)
+    : base_(serialize_cluster(base)) {}
+
+CrashStateEnumerator::CrashStateEnumerator(std::vector<std::uint8_t> base_image)
+    : base_(std::move(base_image)) {}
+
+CrashStateEnumerator::Trace CrashStateEnumerator::trace(
+    const CrashOpSpec& spec) const {
+  LustreCluster cluster = deserialize_cluster(base_);
+  Trace out;
+
+  // Pre-op ground truth: the objects the op will touch that already
+  // exist (parents, the unlink victim and its stripes, the link/rename
+  // source).
+  out.touched.push_back(cluster.resolve(spec.parent_path));
+  if (spec.kind == CrashOpKind::kUnlink) {
+    const Fid child = cluster.resolve(
+        (spec.parent_path == "/" ? "" : spec.parent_path) + "/" + spec.name);
+    out.touched.push_back(child);
+    if (const Inode* inode = cluster.stat(child);
+        inode != nullptr && inode->lov_ea.has_value()) {
+      for (const auto& slot : inode->lov_ea->stripes) {
+        out.touched.push_back(slot.stripe);
+      }
+    }
+  } else if (spec.kind == CrashOpKind::kRename) {
+    const auto [src_parent, src_name] = split_path(spec.src_path);
+    out.touched.push_back(cluster.resolve(src_parent));
+    out.touched.push_back(cluster.resolve(spec.src_path));
+  }
+
+  CountingHook hook;
+  cluster.attach_crash_hook(&hook);
+  const Fid result = apply_crash_op(cluster, spec);
+  cluster.attach_crash_hook(nullptr);
+  out.points = std::move(hook.points);
+
+  if (spec.kind == CrashOpKind::kMkdir || spec.kind == CrashOpKind::kCreate ||
+      spec.kind == CrashOpKind::kHardLink) {
+    out.touched.push_back(result);
+  }
+  if (spec.kind == CrashOpKind::kCreate) {
+    if (const Inode* inode = cluster.stat(result);
+        inode != nullptr && inode->lov_ea.has_value()) {
+      for (const auto& slot : inode->lov_ea->stripes) {
+        out.touched.push_back(slot.stripe);
+      }
+    }
+  }
+  return out;
+}
+
+CrashReplica CrashStateEnumerator::run_with_crash(
+    const CrashOpSpec& spec, std::size_t crash_index) const {
+  CrashReplica replica{deserialize_cluster(base_),
+                       std::make_unique<ChangeLog>()};
+  replica.cluster.attach_changelog(replica.log.get());
+  replica.pre_op_cursor = replica.log->next_index();
+
+  CrashAtHook hook(crash_index);
+  if (crash_index != kRunToCompletion) {
+    replica.cluster.attach_crash_hook(&hook);
+  }
+  try {
+    apply_crash_op(replica.cluster, spec);
+  } catch (const CrashUnwind&) {
+    replica.crashed = true;
+    replica.crash_index = crash_index;
+    replica.point = hook.site();
+  }
+  replica.cluster.attach_crash_hook(nullptr);
+  return replica;
+}
+
+RecoveryAction recover_interrupted(LustreCluster& cluster,
+                                   const ChangeLog& log,
+                                   std::uint64_t pre_op_cursor,
+                                   const CrashOpSpec& spec) {
+  const ChangeOp expected_op = [&] {
+    switch (spec.kind) {
+      case CrashOpKind::kMkdir: return ChangeOp::kMkdir;
+      case CrashOpKind::kCreate: return ChangeOp::kCreateFile;
+      case CrashOpKind::kHardLink: return ChangeOp::kHardLink;
+      case CrashOpKind::kUnlink: return ChangeOp::kUnlink;
+      case CrashOpKind::kRename: return ChangeOp::kRename;
+    }
+    throw CrashStateError("recover: unknown op kind");
+  }();
+  bool committed = false;
+  for (const ChangeRecord& record : log.read_from(pre_op_cursor)) {
+    if (record.op == expected_op && record.name == spec.name) {
+      committed = true;
+      break;
+    }
+  }
+
+  const Fid parent_fid = cluster.resolve(spec.parent_path);
+  switch (spec.kind) {
+    case CrashOpKind::kMkdir:
+    case CrashOpKind::kCreate:
+      // The changelog append is the final sub-update: a committed op is
+      // a complete op.
+      if (committed) return RecoveryAction::kNone;
+      rollback_partial_child(cluster, parent_fid, spec);
+      return RecoveryAction::kRolledBack;
+
+    case CrashOpKind::kHardLink: {
+      if (committed) return RecoveryAction::kNone;
+      const Fid file_fid = cluster.resolve(spec.src_path);
+      if (Inode* file = cluster.find_mdt_inode(file_fid)) {
+        std::erase_if(file->link_ea, [&](const LinkEaEntry& link) {
+          return link.parent == parent_fid && link.name == spec.name;
+        });
+      }
+      Inode* parent = cluster.find_mdt_inode(parent_fid);
+      if (parent != nullptr) erase_dirent(*parent, spec.name);
+      return RecoveryAction::kRolledBack;
+    }
+
+    case CrashOpKind::kUnlink:
+      // Destruction cannot be undone without an undo journal; the
+      // logged intent always rolls forward.
+      return roll_forward_unlink(cluster, parent_fid, spec);
+
+    case CrashOpKind::kRename: {
+      const auto [src_parent_path, src_name] = split_path(spec.src_path);
+      const Fid src_parent = cluster.resolve(src_parent_path);
+      Inode* src_dir = cluster.find_mdt_inode(src_parent);
+      if (src_dir == nullptr) {
+        throw CrashStateError("recover rename: source parent vanished");
+      }
+      if (committed) {
+        // Forward: only the old DIRENT may remain.
+        if (find_dirent(*src_dir, src_name) == nullptr) {
+          return RecoveryAction::kNone;
+        }
+        erase_dirent(*src_dir, src_name);
+        return RecoveryAction::kRolledForward;
+      }
+      // Backward: the old DIRENT is still there (it goes last); undo
+      // the destination DIRENT and the LinkEA rewrite.
+      const DirentEntry* entry = find_dirent(*src_dir, src_name);
+      if (entry == nullptr) {
+        throw CrashStateError("recover rename: uncommitted yet source gone");
+      }
+      const Fid child_fid = entry->fid;
+      Inode* dst_dir = cluster.find_mdt_inode(parent_fid);
+      if (dst_dir != nullptr) erase_dirent(*dst_dir, spec.name);
+      if (Inode* child = cluster.find_mdt_inode(child_fid)) {
+        for (auto& link : child->link_ea) {
+          if (link.parent == parent_fid && link.name == spec.name) {
+            link = {src_parent, src_name};
+            break;
+          }
+        }
+      }
+      return RecoveryAction::kRolledBack;
+    }
+  }
+  throw CrashStateError("recover: unknown op kind");
+}
+
+}  // namespace faultyrank

@@ -349,11 +349,11 @@ GroundTruth FaultInjector::inject_namespace_cycle() {
 std::vector<GroundTruth> FaultInjector::inject_campaign(std::size_t count) {
   std::vector<GroundTruth> truths;
   truths.reserve(count);
-  constexpr std::size_t kScenarioCount = std::size(kAllScenarios);
+  const std::span<const Scenario> scenarios = scenario_list();
   for (std::size_t i = 0; i < count; ++i) {
     // Round-robin through scenarios with random victims so campaigns
     // cover every category even at small counts.
-    const Scenario scenario = kAllScenarios[i % kScenarioCount];
+    const Scenario scenario = scenarios[i % scenarios.size()];
     truths.push_back(inject(scenario));
   }
   return truths;

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -74,6 +75,14 @@ class FaultInjector {
  public:
   FaultInjector(LustreCluster& cluster, std::uint64_t seed)
       : cluster_(cluster), rng_(seed) {}
+
+  /// The canonical scenario registry: the paper's eight curated
+  /// inconsistencies in Fig. 7 order. Every campaign that round-robins
+  /// scenarios (soak, fault_campaign, crash_matrix) iterates this one
+  /// list, so adding a scenario extends them all at once.
+  [[nodiscard]] static std::span<const Scenario> scenario_list() noexcept {
+    return kAllScenarios;
+  }
 
   /// Injects one scenario on a randomly chosen eligible victim.
   /// Throws InjectionError when the cluster holds no eligible victim

@@ -1,0 +1,299 @@
+#include "faults/meta_fuzzer.h"
+
+#include <algorithm>
+#include <functional>
+#include <iterator>
+
+namespace faultyrank {
+
+namespace {
+
+/// Addresses one inode by server rather than pointer, so candidate
+/// lists survive the mutations that invalidate inode references.
+struct Slot {
+  bool on_mdt = true;
+  std::size_t server = 0;
+  std::uint64_t ino = 0;
+};
+
+LdiskfsImage& image_of(LustreCluster& cluster, const Slot& slot) {
+  return slot.on_mdt ? cluster.mdt_server(slot.server).image
+                     : cluster.ost(slot.server).image;
+}
+
+Inode& deref(LustreCluster& cluster, const Slot& slot) {
+  Inode* inode = image_of(cluster, slot).find(slot.ino);
+  if (inode == nullptr) {
+    throw ClusterError("meta_fuzzer: candidate slot vanished");
+  }
+  return *inode;
+}
+
+/// Deterministic candidate walk: MDTs in index order, then OSTs, each
+/// inode table in block-group order.
+std::vector<Slot> collect(LustreCluster& cluster, bool mdts, bool osts,
+                          const std::function<bool(const Inode&)>& pred) {
+  std::vector<Slot> out;
+  if (mdts) {
+    for (std::size_t m = 0; m < cluster.mdt_count(); ++m) {
+      cluster.mdt_server(m).image.for_each_inode([&](const Inode& inode) {
+        if (pred(inode)) out.push_back({true, m, inode.ino});
+      });
+    }
+  }
+  if (osts) {
+    for (std::size_t o = 0; o < cluster.osts().size(); ++o) {
+      cluster.ost(o).image.for_each_inode([&](const Inode& inode) {
+        if (pred(inode)) out.push_back({false, o, inode.ino});
+      });
+    }
+  }
+  return out;
+}
+
+Fid flip_bit(const Fid& fid, std::uint64_t bit) {
+  Fid out = fid;
+  if (bit < 32) {
+    out.oid ^= (1u << bit);
+  } else {
+    out.seq ^= (1ULL << (bit - 32));
+  }
+  return out;
+}
+
+/// Rewrites an inode's identity keeping the OI coherent, as a completed
+/// OI scrub would — without stealing an OI slot another live inode
+/// legitimately owns.
+void rewrite_identity(LdiskfsImage& image, Inode& inode, const Fid& to) {
+  image.oi_erase(inode.lma_fid);
+  inode.lma_fid = to;
+  if (image.find_by_fid(to) == nullptr) image.oi_insert(to, inode.ino);
+}
+
+}  // namespace
+
+const char* to_string(FuzzKind kind) noexcept {
+  switch (kind) {
+    case FuzzKind::kReferenceBitFlip: return "ref-bitflip";
+    case FuzzKind::kIdentityBitFlip: return "id-bitflip";
+    case FuzzKind::kTruncateDirents: return "truncate-dirents";
+    case FuzzKind::kTruncateLinkEa: return "truncate-linkea";
+    case FuzzKind::kTruncateLovEa: return "truncate-lovea";
+    case FuzzKind::kDuplicateFid: return "duplicate-fid";
+    case FuzzKind::kDuplicateDirent: return "duplicate-dirent";
+  }
+  return "?";
+}
+
+std::optional<FuzzRecord> MetaFuzzer::mutate(FuzzKind kind) {
+  const Fid root = cluster_.root();
+  FuzzRecord record;
+  record.kind = kind;
+
+  switch (kind) {
+    case FuzzKind::kReferenceBitFlip: {
+      // Every reference-carrying field is one candidate slot.
+      struct RefSlot {
+        Slot owner;
+        int field = 0;  // 0 dirent, 1 linkea, 2 lovea, 3 filter_fid
+        std::size_t index = 0;
+      };
+      std::vector<RefSlot> refs;
+      const std::vector<Slot> mdt_slots =
+          collect(cluster_, true, false, [](const Inode&) { return true; });
+      for (const Slot& slot : mdt_slots) {
+        const Inode& inode = deref(cluster_, slot);
+        for (std::size_t i = 0; i < inode.dirents.size(); ++i) {
+          refs.push_back({slot, 0, i});
+        }
+        for (std::size_t i = 0; i < inode.link_ea.size(); ++i) {
+          refs.push_back({slot, 1, i});
+        }
+        if (inode.lov_ea.has_value()) {
+          for (std::size_t i = 0; i < inode.lov_ea->stripes.size(); ++i) {
+            refs.push_back({slot, 2, i});
+          }
+        }
+      }
+      const std::vector<Slot> ost_slots =
+          collect(cluster_, false, true, [](const Inode& inode) {
+            return inode.filter_fid.has_value();
+          });
+      for (const Slot& slot : ost_slots) refs.push_back({slot, 3, 0});
+      if (refs.empty()) return std::nullopt;
+
+      const RefSlot& pick = refs[rng_.below(refs.size())];
+      const std::uint64_t bit = rng_.below(40);
+      Inode& owner = deref(cluster_, pick.owner);
+      Fid* target = nullptr;
+      switch (pick.field) {
+        case 0: target = &owner.dirents[pick.index].fid; break;
+        case 1: target = &owner.link_ea[pick.index].parent; break;
+        case 2: target = &owner.lov_ea->stripes[pick.index].stripe; break;
+        default: target = &owner.filter_fid->parent; break;
+      }
+      const Fid old = *target;
+      *target = flip_bit(old, bit);
+      record.touched = {owner.lma_fid, old, *target};
+      record.description = std::string("ref-bitflip on ") +
+                           owner.lma_fid.to_string() + ": " + old.to_string() +
+                           " -> " + target->to_string();
+      return record;
+    }
+
+    case FuzzKind::kIdentityBitFlip: {
+      std::vector<Slot> victims =
+          collect(cluster_, true, true, [&](const Inode& inode) {
+            return inode.lma_fid != root && !inode.lma_fid.is_null();
+          });
+      if (victims.empty()) return std::nullopt;
+      const Slot slot = victims[rng_.below(victims.size())];
+      Inode& victim = deref(cluster_, slot);
+      const Fid old = victim.lma_fid;
+      const Fid now = flip_bit(old, rng_.below(20));  // oid bits: stays routable
+      rewrite_identity(image_of(cluster_, slot), victim, now);
+      record.touched = {old, now};
+      record.description =
+          "id-bitflip: " + old.to_string() + " -> " + now.to_string();
+      return record;
+    }
+
+    case FuzzKind::kTruncateDirents: {
+      std::vector<Slot> dirs =
+          collect(cluster_, true, false, [&](const Inode& inode) {
+            return inode.type == InodeType::kDirectory &&
+                   !inode.dirents.empty() && inode.lma_fid != root;
+          });
+      if (dirs.empty()) return std::nullopt;
+      Inode& dir = deref(cluster_, dirs[rng_.below(dirs.size())]);
+      const std::size_t keep = rng_.below(dir.dirents.size());
+      record.touched = {dir.lma_fid};
+      for (std::size_t i = keep; i < dir.dirents.size(); ++i) {
+        record.touched.push_back(dir.dirents[i].fid);
+      }
+      dir.dirents.resize(keep);
+      record.description = "truncate-dirents on " + dir.lma_fid.to_string() +
+                           " to " + std::to_string(keep);
+      return record;
+    }
+
+    case FuzzKind::kTruncateLinkEa: {
+      std::vector<Slot> owners =
+          collect(cluster_, true, false, [](const Inode& inode) {
+            return !inode.link_ea.empty();
+          });
+      if (owners.empty()) return std::nullopt;
+      Inode& owner = deref(cluster_, owners[rng_.below(owners.size())]);
+      const std::size_t keep = rng_.below(owner.link_ea.size());
+      record.touched = {owner.lma_fid};
+      for (std::size_t i = keep; i < owner.link_ea.size(); ++i) {
+        record.touched.push_back(owner.link_ea[i].parent);
+      }
+      owner.link_ea.resize(keep);
+      record.description = "truncate-linkea on " + owner.lma_fid.to_string() +
+                           " to " + std::to_string(keep);
+      return record;
+    }
+
+    case FuzzKind::kTruncateLovEa: {
+      std::vector<Slot> files =
+          collect(cluster_, true, false, [](const Inode& inode) {
+            return inode.lov_ea.has_value() && !inode.lov_ea->stripes.empty();
+          });
+      if (files.empty()) return std::nullopt;
+      Inode& file = deref(cluster_, files[rng_.below(files.size())]);
+      const std::size_t keep = rng_.below(file.lov_ea->stripes.size());
+      record.touched = {file.lma_fid};
+      for (std::size_t i = keep; i < file.lov_ea->stripes.size(); ++i) {
+        record.touched.push_back(file.lov_ea->stripes[i].stripe);
+      }
+      file.lov_ea->stripes.resize(keep);
+      record.description = "truncate-lovea on " + file.lma_fid.to_string() +
+                           " to " + std::to_string(keep);
+      return record;
+    }
+
+    case FuzzKind::kDuplicateFid: {
+      // The DNE shard case: one shard's object assumes the identity of
+      // another shard's — two physical inodes, one fid, different
+      // servers, which no per-server pass can see.
+      std::vector<Slot> victims;
+      std::vector<Slot> sources;
+      if (cluster_.mdt_count() >= 2) {
+        victims = collect(cluster_, true, false, [&](const Inode& inode) {
+          return inode.lma_fid != root;
+        });
+      } else if (cluster_.osts().size() >= 2) {
+        victims = collect(cluster_, false, true,
+                          [](const Inode&) { return true; });
+      }
+      if (victims.empty()) return std::nullopt;
+      const Slot victim_slot = victims[rng_.below(victims.size())];
+      for (const Slot& slot : victims) {
+        if (slot.server != victim_slot.server) sources.push_back(slot);
+      }
+      if (sources.empty()) return std::nullopt;
+      const Slot source_slot = sources[rng_.below(sources.size())];
+      Inode& victim = deref(cluster_, victim_slot);
+      const Fid old = victim.lma_fid;
+      const Fid dup = deref(cluster_, source_slot).lma_fid;
+      rewrite_identity(image_of(cluster_, victim_slot), victim, dup);
+      record.touched = {old, dup};
+      record.description = "duplicate-fid: " + old.to_string() +
+                           " now claims " + dup.to_string();
+      return record;
+    }
+
+    case FuzzKind::kDuplicateDirent: {
+      std::vector<Slot> dirs =
+          collect(cluster_, true, false, [](const Inode& inode) {
+            return inode.type == InodeType::kDirectory &&
+                   !inode.dirents.empty();
+          });
+      if (dirs.empty()) return std::nullopt;
+      const Slot src_slot = dirs[rng_.below(dirs.size())];
+      const Inode& src = deref(cluster_, src_slot);
+      const DirentEntry entry = src.dirents[rng_.below(src.dirents.size())];
+
+      std::vector<Slot> dests =
+          collect(cluster_, true, false, [&](const Inode& inode) {
+            if (inode.type != InodeType::kDirectory) return false;
+            if (inode.ino == src.ino && inode.lma_fid == src.lma_fid)
+              return false;
+            return std::none_of(
+                inode.dirents.begin(), inode.dirents.end(),
+                [&](const DirentEntry& e) { return e.name == entry.name; });
+          });
+      // Same-server self hit: the predicate above cannot compare server
+      // indices, so drop the source slot explicitly.
+      std::erase_if(dests, [&](const Slot& slot) {
+        return slot.on_mdt == src_slot.on_mdt &&
+               slot.server == src_slot.server && slot.ino == src_slot.ino;
+      });
+      if (dests.empty()) return std::nullopt;
+      Inode& dst = deref(cluster_, dests[rng_.below(dests.size())]);
+      dst.dirents.push_back(entry);
+      record.touched = {src.lma_fid, dst.lma_fid, entry.fid};
+      record.description = "duplicate-dirent '" + entry.name + "' (" +
+                           entry.fid.to_string() + ") into " +
+                           dst.lma_fid.to_string();
+      return record;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<FuzzRecord> MetaFuzzer::campaign(std::size_t count) {
+  std::vector<FuzzRecord> out;
+  constexpr std::size_t kKinds = std::size(kAllFuzzKinds);
+  // Cycle the grammar; cap the attempt budget so a cluster with no
+  // eligible victims for some kind cannot spin forever.
+  for (std::size_t i = 0; out.size() < count && i < count * 4; ++i) {
+    if (auto record = mutate(kAllFuzzKinds[i % kKinds])) {
+      out.push_back(std::move(*record));
+    }
+  }
+  return out;
+}
+
+}  // namespace faultyrank

@@ -1,0 +1,75 @@
+// Structured EA/DIRENT corruption fuzzer (ROADMAP item 4).
+//
+// Where the FaultInjector builds the paper's eight curated
+// inconsistencies, the fuzzer *generates* them: deterministic seeded
+// mutations of the serialized metadata web — bit-flips in reference
+// and identity FIDs, truncations of DIRENT/LinkEA/LOVEA arrays, FIDs
+// duplicated across DNE shards, and DIRENT records cloned between
+// directories. Every mutation reports the FID set it disturbed so a
+// campaign can score checker findings for false positives exactly as
+// bench/fault_campaign does: a verifiable finding must involve a
+// touched FID.
+//
+// Candidate selection walks servers in index order and inode tables in
+// block-group order, so the same (cluster, seed) always produces the
+// same mutation sequence — fuzzed images are bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "pfs/cluster.h"
+
+namespace faultyrank {
+
+enum class FuzzKind : std::uint8_t {
+  kReferenceBitFlip = 0,  ///< flip a bit in a DIRENT/LinkEA/LOVEA/filter_fid reference
+  kIdentityBitFlip = 1,   ///< flip a bit in an inode's LMA fid (OI follows)
+  kTruncateDirents = 2,   ///< drop a suffix of a directory's entries
+  kTruncateLinkEa = 3,    ///< drop a suffix of an object's LinkEA records
+  kTruncateLovEa = 4,     ///< drop a suffix of a file's stripe slots
+  kDuplicateFid = 5,      ///< clone one object's fid onto another shard's object
+  kDuplicateDirent = 6,   ///< clone a DIRENT record into another directory
+};
+
+inline constexpr FuzzKind kAllFuzzKinds[] = {
+    FuzzKind::kReferenceBitFlip, FuzzKind::kIdentityBitFlip,
+    FuzzKind::kTruncateDirents,  FuzzKind::kTruncateLinkEa,
+    FuzzKind::kTruncateLovEa,    FuzzKind::kDuplicateFid,
+    FuzzKind::kDuplicateDirent,
+};
+
+[[nodiscard]] const char* to_string(FuzzKind kind) noexcept;
+
+/// One applied mutation: what happened and which FIDs it disturbed
+/// (victims, destroyed references, duplicated identities). Any finding
+/// that involves none of them is a false positive.
+struct FuzzRecord {
+  FuzzKind kind = FuzzKind::kReferenceBitFlip;
+  std::string description;
+  std::vector<Fid> touched;
+};
+
+class MetaFuzzer {
+ public:
+  MetaFuzzer(LustreCluster& cluster, std::uint64_t seed)
+      : cluster_(cluster), rng_(seed) {}
+
+  /// Applies one mutation of `kind`; nullopt when the cluster holds no
+  /// eligible victim (e.g. kDuplicateFid on a single-shard cluster
+  /// with one OST).
+  std::optional<FuzzRecord> mutate(FuzzKind kind);
+
+  /// Applies `count` mutations cycling through every kind, skipping
+  /// infeasible ones. Returns the records actually applied.
+  std::vector<FuzzRecord> campaign(std::size_t count);
+
+ private:
+  LustreCluster& cluster_;
+  Rng rng_;
+};
+
+}  // namespace faultyrank

@@ -127,6 +127,17 @@ void OnlineChecker::apply(const ChangeRecord& record) {
       }
       graph_.remove_vertex(record.target);
       break;
+    case ChangeOp::kRename:
+      ensure_vertex(record.src_parent, ObjectKind::kDirectory);
+      ensure_vertex(record.parent, ObjectKind::kDirectory);
+      ensure_vertex(record.target, record.type == InodeType::kDirectory
+                                       ? ObjectKind::kDirectory
+                                       : ObjectKind::kFile);
+      graph_.remove_edge(record.src_parent, record.target, EdgeKind::kDirent);
+      graph_.remove_edge(record.target, record.src_parent, EdgeKind::kLinkEa);
+      graph_.add_edge(record.parent, record.target, EdgeKind::kDirent);
+      graph_.add_edge(record.target, record.parent, EdgeKind::kLinkEa);
+      break;
   }
 }
 

@@ -26,6 +26,7 @@ enum class ChangeOp : std::uint8_t {
   kCreateFile = 1,
   kUnlink = 2,
   kHardLink = 3,
+  kRename = 4,
 };
 
 [[nodiscard]] constexpr const char* to_string(ChangeOp op) noexcept {
@@ -34,6 +35,7 @@ enum class ChangeOp : std::uint8_t {
     case ChangeOp::kCreateFile: return "create";
     case ChangeOp::kUnlink: return "unlink";
     case ChangeOp::kHardLink: return "hardlink";
+    case ChangeOp::kRename: return "rename";
   }
   return "?";
 }
@@ -51,6 +53,10 @@ struct ChangeRecord {
   /// kUnlink: false when only one name of a hard-linked file went away
   /// and the object itself survives.
   bool removes_object = true;
+  /// kRename only: the directory and name the entry moved away from
+  /// (`parent`/`name` describe the destination).
+  Fid src_parent;
+  std::string src_name;
 };
 
 /// Append-only operation log with cursor-based consumption.

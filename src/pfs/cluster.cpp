@@ -16,6 +16,12 @@ const DirentEntry* find_dirent(const Inode& dir, std::string_view name) {
 
 }  // namespace
 
+// Names a crash point between two sub-updates of a namespace op (see
+// pfs/crash.h). Every multi-sub-update mutation sequence MUST thread
+// its steps through this macro — fr_lint's crash-point-required rule
+// enforces it for src/pfs/.
+#define FR_CRASH_POINT(op, point) crash_step(op, point)
+
 LustreCluster::LustreCluster(std::size_t ost_count, StripePolicy policy,
                              std::size_t mdt_count)
     : policy_(policy) {
@@ -103,14 +109,19 @@ Fid LustreCluster::mkdir(const Fid& parent, const std::string& name) {
   // DNE placement: new directories round-robin across MDTs.
   MdtServer& home = *mdts_[next_mdt_ % mdts_.size()];
   next_mdt_ = (next_mdt_ + 1) % mdts_.size();
+  FR_CRASH_POINT("mkdir", "alloc");
   Inode& child = home.image.allocate(InodeType::kDirectory);
   child.lma_fid = home.fids.next();
+  FR_CRASH_POINT("mkdir", "linkea");
   child.link_ea.push_back({parent, name});
+  FR_CRASH_POINT("mkdir", "oi-insert");
   home.image.oi_insert(child.lma_fid, child.ino);
   // Re-fetch the parent: allocate() may have grown its inode table.
   Inode& dir2 = mdt_inode_or_throw(parent, "mkdir");
   const Fid child_fid = child.lma_fid;
+  FR_CRASH_POINT("mkdir", "dirent");
   dir2.dirents.push_back({name, child_fid, child.ino});
+  FR_CRASH_POINT("mkdir", "changelog");
   if (changelog_ != nullptr) {
     changelog_->append({0, ChangeOp::kMkdir, child_fid, parent, name,
                         InodeType::kDirectory, {}});
@@ -149,12 +160,15 @@ Fid LustreCluster::create_file(const Fid& parent, const std::string& name,
   // Files live on their parent directory's MDT.
   MdtServer* home = mdt_for(parent);
   if (home == nullptr) home = mdts_[0].get();
+  FR_CRASH_POINT("create", "alloc");
   Inode& file = home->image.allocate(InodeType::kRegular);
   const Fid file_fid = home->fids.next();
   const std::uint64_t file_ino = file.ino;
   file.lma_fid = file_fid;
+  FR_CRASH_POINT("create", "linkea");
   file.link_ea.push_back({parent, name});
   file.size_bytes = size;
+  FR_CRASH_POINT("create", "oi-insert");
   home->image.oi_insert(file_fid, file_ino);
 
   LovEa layout;
@@ -170,6 +184,7 @@ Fid LustreCluster::create_file(const Fid& parent, const std::string& name,
         (size + policy.stripe_size - 1) / policy.stripe_size;
     const std::uint64_t own_chunks = chunks / objects +
                                      (k < chunks % objects ? 1 : 0);
+    FR_CRASH_POINT("create", "object");
     const Fid stripe = osts_[ost_index].create_object(
         file_fid, k, own_chunks * policy.stripe_size);
     layout.stripes.push_back({stripe, ost_index});
@@ -177,9 +192,12 @@ Fid LustreCluster::create_file(const Fid& parent, const std::string& name,
   next_ost_ = (next_ost_ + 1) % osts_.size();
 
   Inode& file2 = *home->image.find(file_ino);
+  FR_CRASH_POINT("create", "lovea");
   file2.lov_ea = std::move(layout);
   Inode& dir2 = mdt_inode_or_throw(parent, "create");
+  FR_CRASH_POINT("create", "dirent");
   dir2.dirents.push_back({name, file_fid, file_ino});
+  FR_CRASH_POINT("create", "changelog");
   if (changelog_ != nullptr) {
     changelog_->append({0, ChangeOp::kCreateFile, file_fid, parent, name,
                         InodeType::kRegular, file2.lov_ea->stripes});
@@ -200,8 +218,11 @@ void LustreCluster::link(const Fid& existing, const Fid& parent,
   if (find_dirent(dir, name) != nullptr) {
     throw ClusterError("link: name exists: " + name);
   }
+  FR_CRASH_POINT("hardlink", "linkea");
   file.link_ea.push_back({parent, name});
+  FR_CRASH_POINT("hardlink", "dirent");
   dir.dirents.push_back({name, existing, file.ino});
+  FR_CRASH_POINT("hardlink", "changelog");
   if (changelog_ != nullptr) {
     changelog_->append({0, ChangeOp::kHardLink, existing, parent, name,
                         InodeType::kRegular, {}});
@@ -228,6 +249,7 @@ void LustreCluster::unlink(const Fid& parent, const std::string& name) {
   } else {
     // Drop this name's LinkEA record; the object survives while other
     // hard links remain.
+    FR_CRASH_POINT("unlink", "linkea");
     std::erase_if(child.link_ea, [&](const LinkEaEntry& link) {
       return link.parent == parent && link.name == name;
     });
@@ -235,6 +257,7 @@ void LustreCluster::unlink(const Fid& parent, const std::string& name) {
     if (removes_object && child.lov_ea.has_value()) {
       freed_stripes = child.lov_ea->stripes;
       for (const auto& slot : child.lov_ea->stripes) {
+        FR_CRASH_POINT("unlink", "object");
         OstServer& ost = osts_.at(slot.ost_index);
         if (const Inode* obj = ost.image.find_by_fid(slot.stripe)) {
           ost.image.release(obj->ino);
@@ -247,8 +270,10 @@ void LustreCluster::unlink(const Fid& parent, const std::string& name) {
     if (child_home == nullptr) {
       throw ClusterError("unlink: cannot route child fid");
     }
+    FR_CRASH_POINT("unlink", "release-child");
     child_home->image.release(child.ino);
   }
+  FR_CRASH_POINT("unlink", "changelog");
   if (changelog_ != nullptr) {
     ChangeRecord record{0,          ChangeOp::kUnlink, child_fid, parent,
                         name,       child_type,        std::move(freed_stripes)};
@@ -257,9 +282,60 @@ void LustreCluster::unlink(const Fid& parent, const std::string& name) {
   }
   // Re-fetch the parent and drop the entry.
   Inode& dir2 = mdt_inode_or_throw(parent, "unlink");
+  FR_CRASH_POINT("unlink", "dirent");
   dir2.dirents.erase(
       std::find_if(dir2.dirents.begin(), dir2.dirents.end(),
                    [&name](const DirentEntry& e) { return e.name == name; }));
+}
+
+Fid LustreCluster::rename(const Fid& old_parent, const std::string& old_name,
+                          const Fid& new_parent, const std::string& new_name) {
+  Inode& src_dir = mdt_inode_or_throw(old_parent, "rename");
+  const DirentEntry* entry = find_dirent(src_dir, old_name);
+  if (entry == nullptr) {
+    throw ClusterError("rename: no such entry: " + old_name);
+  }
+  const Fid child_fid = entry->fid;
+  const std::uint64_t child_ino = entry->ino;
+  Inode& dst_dir = mdt_inode_or_throw(new_parent, "rename");
+  if (dst_dir.type != InodeType::kDirectory) {
+    throw ClusterError("rename: new parent is not a directory");
+  }
+  if (find_dirent(dst_dir, new_name) != nullptr) {
+    throw ClusterError("rename: name exists: " + new_name);
+  }
+  Inode& child = mdt_inode_or_throw(child_fid, "rename");
+  const InodeType child_type = child.type;
+  // Sub-update order mirrors the constructive ops: child-side EA first,
+  // destination DIRENT, changelog, and only then the source DIRENT —
+  // so a crash mid-rename leaves a double entry or a LinkEA that
+  // disagrees with the surviving DIRENT, never a lost child.
+  FR_CRASH_POINT("rename", "linkea");
+  for (auto& link : child.link_ea) {
+    if (link.parent == old_parent && link.name == old_name) {
+      link = {new_parent, new_name};
+      break;
+    }
+  }
+  FR_CRASH_POINT("rename", "dirent-add");
+  dst_dir.dirents.push_back({new_name, child_fid, child_ino});
+  FR_CRASH_POINT("rename", "changelog");
+  if (changelog_ != nullptr) {
+    ChangeRecord record{0,          ChangeOp::kRename, child_fid, new_parent,
+                        new_name,   child_type,        {}};
+    record.removes_object = false;
+    record.src_parent = old_parent;
+    record.src_name = old_name;
+    changelog_->append(std::move(record));
+  }
+  FR_CRASH_POINT("rename", "dirent-remove");
+  Inode& src2 = mdt_inode_or_throw(old_parent, "rename");
+  src2.dirents.erase(std::find_if(
+      src2.dirents.begin(), src2.dirents.end(),
+      [&](const DirentEntry& e) {
+        return e.name == old_name && e.fid == child_fid;
+      }));
+  return child_fid;
 }
 
 Fid LustreCluster::resolve(std::string_view path) const {

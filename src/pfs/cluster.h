@@ -28,6 +28,7 @@
 
 #include "common/fid.h"
 #include "pfs/changelog.h"
+#include "pfs/crash.h"
 #include "pfs/server.h"
 
 namespace faultyrank {
@@ -70,6 +71,15 @@ class LustreCluster {
   /// Removes one name of a file (freeing its OST objects only when the
   /// last link goes away) or an empty directory.
   void unlink(const Fid& parent, const std::string& name);
+
+  /// Moves one name: the child's LinkEA record is rewritten, a DIRENT
+  /// appears under `new_parent`, the changelog records the move, and
+  /// the old DIRENT goes away — in that order, so a crash mid-rename
+  /// leaves the classic double-entry / mismatched-LinkEA states.
+  /// Directories may be renamed (DNE: possibly across MDTs); the child
+  /// is returned.
+  Fid rename(const Fid& old_parent, const std::string& old_name,
+             const Fid& new_parent, const std::string& new_name);
 
   /// Resolves an absolute "/a/b/c" path; throws ClusterError if absent.
   [[nodiscard]] Fid resolve(std::string_view path) const;
@@ -123,6 +133,13 @@ class LustreCluster {
   void attach_changelog(ChangeLog* log) noexcept { changelog_ = log; }
   [[nodiscard]] ChangeLog* changelog() const noexcept { return changelog_; }
 
+  /// Installs a crash-point observer (pass nullptr to detach). The hook
+  /// fires at every FR_CRASH_POINT inside namespace ops and may throw
+  /// CrashUnwind to abandon the op half-applied (see pfs/crash.h). The
+  /// hook must outlive the attachment. Not serialized with snapshots.
+  void attach_crash_hook(CrashHook* hook) noexcept { crash_hook_ = hook; }
+  [[nodiscard]] CrashHook* crash_hook() const noexcept { return crash_hook_; }
+
  private:
   // Snapshot persistence reconstructs private state directly.
   friend std::vector<std::uint8_t> serialize_cluster(
@@ -132,6 +149,11 @@ class LustreCluster {
 
   /// Uninitialized shell used only by load_cluster.
   LustreCluster() = default;
+
+  /// Body of FR_CRASH_POINT: forwards to the attached hook, if any.
+  void crash_step(const char* op, const char* point) {
+    if (crash_hook_ != nullptr) crash_hook_->reached({op, point});
+  }
 
   Inode& mdt_inode_or_throw(const Fid& fid, const char* what);
   [[nodiscard]] const Inode& mdt_inode_or_throw(const Fid& fid,
@@ -148,7 +170,8 @@ class LustreCluster {
   std::uint64_t next_ost_ = 0;  ///< round-robin start for stripe layout
   std::uint64_t next_mdt_ = 0;  ///< round-robin for new directories
   Fid lost_found_fid_;
-  ChangeLog* changelog_ = nullptr;  ///< not owned; may be null
+  ChangeLog* changelog_ = nullptr;    ///< not owned; may be null
+  CrashHook* crash_hook_ = nullptr;   ///< not owned; may be null
 };
 
 }  // namespace faultyrank

@@ -1,0 +1,56 @@
+// Crash-point instrumentation for multi-sub-update namespace ops.
+//
+// Every namespace operation in LustreCluster is a *sequence* of
+// sub-updates (allocate inode, write LinkEA, insert OI mapping, push
+// DIRENT, append changelog …). A real server can crash between any two
+// of them, leaving the redundant-metadata web half-updated — exactly
+// the states B3-style bounded black-box crash testing enumerates.
+//
+// The cluster exposes the sequence through named crash points: each op
+// calls FR_CRASH_POINT("op", "point") between sub-updates, which
+// forwards to the attached CrashHook (a no-op when none is attached —
+// production traffic pays one pointer test per point). A hook may throw
+// CrashUnwind to abort the op mid-flight; the cluster performs no
+// cleanup on that path, so the caller observes the genuinely
+// half-updated state a crash would have left behind.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <string>
+
+namespace faultyrank {
+
+/// Identifies one crash point: the op it sits in and the sub-update it
+/// precedes. Both strings are literals with static storage duration.
+struct CrashSite {
+  const char* op = "";
+  const char* point = "";
+};
+
+/// Thrown by a CrashHook to simulate a crash at the current site.
+/// Deliberately NOT a ClusterError: enumeration harnesses catch it
+/// specifically, and nothing in the repair/checker stack swallows it by
+/// accident when catching cluster faults.
+class CrashUnwind : public std::exception {
+ public:
+  explicit CrashUnwind(const CrashSite& site)
+      : what_(std::string("crash at ") + site.op + "/" + site.point) {}
+  [[nodiscard]] const char* what() const noexcept override {
+    return what_.c_str();
+  }
+
+ private:
+  std::string what_;
+};
+
+/// Observer invoked at every crash point of every instrumented op.
+/// Implementations count firings (to discover an op's crash schedule)
+/// or throw CrashUnwind at a chosen firing (to materialize the state).
+class CrashHook {
+ public:
+  virtual ~CrashHook() = default;
+  virtual void reached(const CrashSite& site) = 0;
+};
+
+}  // namespace faultyrank

@@ -187,10 +187,21 @@ LdiskfsImage LdiskfsImage::deserialize(ByteReader& r) {
   // portion of one encoded element).
   const auto slot_count = r.bounded_count(r.get<std::uint64_t>(), 60);
   image.slots_.resize(slot_count);
+  std::uint64_t slot_index = 0;
   for (Inode& inode : image.slots_) {
     inode.ino = r.get<std::uint64_t>();
     inode.type = static_cast<InodeType>(r.get<std::uint8_t>());
     inode.in_use = r.get<std::uint8_t>() != 0;
+    // inos are positional (slot = ino - 1); every consumer from the
+    // checker's bootstrap down indexes tables with them, so an image
+    // whose recorded ino disagrees with its slot is corrupt, not
+    // merely inconsistent.
+    if (inode.in_use && inode.ino != slot_index + 1) {
+      throw SerdesError("inode ino " + std::to_string(inode.ino) +
+                        " does not match slot " +
+                        std::to_string(slot_index));
+    }
+    ++slot_index;
     inode.lma_fid = get_fid(r);
     const auto link_count = r.bounded_count(r.get<std::uint32_t>(), 20);
     inode.link_ea.resize(link_count);

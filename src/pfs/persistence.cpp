@@ -83,7 +83,10 @@ LustreCluster deserialize_cluster(const std::vector<std::uint8_t>& bytes) {
     cluster.next_mdt_ = r.get<std::uint64_t>();
     cluster.lost_found_fid_ = get_fid(r);
 
-    const auto mdt_count = r.get<std::uint32_t>();
+    // Per-server records carry at least index + allocator + root/label
+    // bytes; bounding the counts keeps a flipped length byte from
+    // driving a multi-gigabyte reserve (see ByteReader::bounded_count).
+    const auto mdt_count = r.bounded_count(r.get<std::uint32_t>(), 30);
     cluster.mdts_.reserve(mdt_count);
     for (std::uint32_t i = 0; i < mdt_count; ++i) {
       const auto index = r.get<std::uint32_t>();
@@ -98,7 +101,7 @@ LustreCluster deserialize_cluster(const std::vector<std::uint8_t>& bytes) {
       cluster.mdts_.push_back(std::move(mdt));
     }
 
-    const auto ost_count = r.get<std::uint32_t>();
+    const auto ost_count = r.bounded_count(r.get<std::uint32_t>(), 30);
     cluster.osts_.reserve(ost_count);
     for (std::uint32_t i = 0; i < ost_count; ++i) {
       const auto index = r.get<std::uint32_t>();
@@ -116,6 +119,25 @@ LustreCluster deserialize_cluster(const std::vector<std::uint8_t>& bytes) {
     return cluster;
   } catch (const SerdesError& error) {
     throw PersistenceError(std::string("corrupt snapshot: ") + error.what());
+  }
+}
+
+std::vector<std::uint8_t> serialize_image(const LdiskfsImage& image) {
+  ByteWriter w;
+  image.serialize(w);
+  return w.take();
+}
+
+LdiskfsImage deserialize_image(const std::vector<std::uint8_t>& bytes) {
+  try {
+    ByteReader r(bytes);
+    LdiskfsImage image = LdiskfsImage::deserialize(r);
+    if (!r.exhausted()) {
+      throw PersistenceError("trailing bytes in image");
+    }
+    return image;
+  } catch (const SerdesError& error) {
+    throw PersistenceError(std::string("corrupt image: ") + error.what());
   }
 }
 

@@ -28,6 +28,17 @@ class PersistenceError : public std::runtime_error {
 [[nodiscard]] LustreCluster deserialize_cluster(
     const std::vector<std::uint8_t>& bytes);
 
+/// Serializes a single server image (the per-image framing used inside
+/// cluster snapshots, without the cluster envelope).
+[[nodiscard]] std::vector<std::uint8_t> serialize_image(
+    const LdiskfsImage& image);
+
+/// Reconstructs a single server image. Like deserialize_cluster, every
+/// malformed input — truncation, bit flips, bomb lengths — surfaces as
+/// PersistenceError; no other exception type may escape.
+[[nodiscard]] LdiskfsImage deserialize_image(
+    const std::vector<std::uint8_t>& bytes);
+
 /// Writes the full cluster state to `path`. Crash-safe: the bytes land
 /// in a temporary file in the same directory which is renamed over
 /// `path` only after a complete write, so a crash mid-save leaves the

@@ -195,5 +195,80 @@ TEST(SnapshotFuzzTest, BitFlippedSnapshotsNeverEscalate) {
   EXPECT_GT(rejected, 0);
 }
 
+// Image-level fuzzing: the same guarantees hold for the per-image
+// framing (serialize_image / deserialize_image), which the crash matrix
+// and checkpoint loaders parse without the cluster envelope. The
+// positional-ino invariant (slot k holds ino k+1) must be enforced at
+// parse time — a flipped ino that slipped through would index the
+// checker's bootstrap tables out of bounds.
+
+TEST(ImageFuzzTest, TruncatedImagesAlwaysThrow) {
+  const LustreCluster cluster = testing::make_populated_cluster(64, 13, 3);
+  const std::vector<std::uint8_t> bytes =
+      serialize_image(cluster.mdt().image);
+  ASSERT_GT(bytes.size(), 32u);
+
+  std::vector<std::size_t> cuts;
+  for (std::size_t n = 0; n < 32; ++n) cuts.push_back(n);
+  Rng rng(0xcafe5eed);
+  for (int i = 0; i < 200; ++i) cuts.push_back(rng.below(bytes.size()));
+  for (const std::size_t cut : cuts) {
+    const std::vector<std::uint8_t> prefix(
+        bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW((void)deserialize_image(prefix), PersistenceError)
+        << "prefix of " << cut << " of " << bytes.size() << " bytes parsed";
+  }
+}
+
+TEST(ImageFuzzTest, BitFlippedImagesNeverEscalate) {
+  const LustreCluster cluster = testing::make_populated_cluster(64, 14, 3);
+  for (std::size_t source = 0; source < 2; ++source) {
+    const std::vector<std::uint8_t> bytes = serialize_image(
+        source == 0 ? cluster.mdt().image : cluster.osts()[0].image);
+    Rng rng(0xb17f11b5 + source);
+    int rejected = 0;
+    int parsed = 0;
+    for (int i = 0; i < 300; ++i) {
+      std::vector<std::uint8_t> mutated = bytes;
+      const int flips = 1 + static_cast<int>(rng.below(4));
+      for (int f = 0; f < flips; ++f) {
+        const std::size_t at = rng.below(mutated.size());
+        mutated[at] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+      }
+      try {
+        const LdiskfsImage image = deserialize_image(mutated);
+        ++parsed;
+        // Whatever parsed must uphold the positional-ino invariant the
+        // loader promises to every downstream consumer.
+        image.for_each_inode([&](const Inode& inode) {
+          ASSERT_NE(image.find(inode.ino), nullptr);
+          EXPECT_EQ(image.find(inode.ino)->ino, inode.ino);
+        });
+      } catch (const PersistenceError&) {
+        ++rejected;
+      }
+    }
+    EXPECT_GT(rejected, 0) << "source " << source;
+    EXPECT_GT(parsed, 0) << "source " << source;
+  }
+}
+
+TEST(ImageFuzzTest, MismatchedInoSlotIsRejected) {
+  const LustreCluster cluster = testing::make_populated_cluster(32, 15, 2);
+  LustreCluster copy =
+      deserialize_cluster(serialize_cluster(cluster));
+  // Forge an in-use inode whose recorded ino disagrees with its slot;
+  // serialization preserves the lie, deserialization must refuse it.
+  bool forged = false;
+  copy.mdt().image.for_each_inode_mut([&](Inode& inode) {
+    if (forged || inode.ino < 4) return;
+    inode.ino += 1;
+    forged = true;
+  });
+  ASSERT_TRUE(forged);
+  const std::vector<std::uint8_t> bytes = serialize_image(copy.mdt().image);
+  EXPECT_THROW((void)deserialize_image(bytes), PersistenceError);
+}
+
 }  // namespace
 }  // namespace faultyrank

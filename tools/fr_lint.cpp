@@ -30,6 +30,14 @@
 //                        retry loop spins forever against a server
 //                        that stays down. Counted `for` loops are
 //                        exempt: their trip count is the bound.
+//   crash-point-required In PFS code (paths containing "pfs"), a
+//                        function that performs two or more distinct
+//                        metadata sub-updates (DIRENT insert/erase,
+//                        LinkEA append, erase_if) must fire
+//                        FR_CRASH_POINT between them (DESIGN.md §15):
+//                        an uninstrumented multi-sub-update op is
+//                        invisible to the crash-state enumerator, so
+//                        its half-applied states are never tested.
 //
 // A line can opt out with a trailing `// fr_lint: allow(rule-id)`.
 // Comments and string/char literals are stripped before matching by
@@ -67,9 +75,9 @@ using fr_analysis::Violation;
 
 /// Every rule id fr_lint can emit; the self-test demands each appears
 /// in exactly one fixture's EXPECT header.
-constexpr std::array<const char*, 5> kLintRuleIds = {
-    "mutex-needs-guards", "no-raw-thread", "no-c-random",
-    "no-iostream-in-lib", "no-unbounded-retry"};
+constexpr std::array<const char*, 6> kLintRuleIds = {
+    "mutex-needs-guards",  "no-raw-thread",      "no-c-random",
+    "no-iostream-in-lib",  "no-unbounded-retry", "crash-point-required"};
 
 struct FileContent {
   std::vector<std::string> raw;       // original lines
@@ -288,6 +296,64 @@ void check_unbounded_retry(const std::string& path, const FileContent& content,
   }
 }
 
+/// crash-point-required: multi-sub-update namespace mutations in PFS
+/// code must be instrumented with FR_CRASH_POINT so the crash-state
+/// enumerator (faults/crash_states.h) can interrupt them between
+/// sub-updates. Function regions are delimited by column-0 definition
+/// lines (`Type Class::name(...)`); a region performing two or more
+/// *distinct* mutation kinds with no crash point gets flagged at its
+/// definition line. One mutation alone is atomic from the enumerator's
+/// point of view and needs no instrumentation.
+void check_crash_point_required(const std::string& path,
+                                const FileContent& content,
+                                std::vector<Violation>& out) {
+  if (path.find("pfs") == std::string::npos) return;
+  static const std::vector<std::string> kMutationTokens = {
+      "dirents.push_back", "dirents.erase", "link_ea.push_back", "erase_if"};
+
+  std::size_t region_start = std::string::npos;
+  std::set<std::string> mutations;
+  bool has_point = false;
+
+  const auto flush = [&] {
+    if (region_start != std::string::npos && mutations.size() >= 2 &&
+        !has_point &&
+        !line_allows(content.raw[region_start], "crash-point-required")) {
+      out.push_back(
+          {path, region_start + 1, "crash-point-required",
+           "function applies " + std::to_string(mutations.size()) +
+               " distinct metadata sub-updates with no FR_CRASH_POINT — "
+               "instrument them so crash-state enumeration can interrupt "
+               "the op"});
+    }
+    mutations.clear();
+    has_point = false;
+  };
+
+  for (std::size_t n = 0; n < content.scrubbed.size(); ++n) {
+    const std::string& line = content.scrubbed[n];
+    const bool definition_start =
+        !line.empty() && line[0] != ' ' && line[0] != '\t' &&
+        line[0] != '#' && line[0] != '{' && line[0] != '}' &&
+        line.find("::") != std::string::npos &&
+        line.find('(') != std::string::npos;
+    if (definition_start && line.find("::") < line.find('(')) {
+      flush();
+      region_start = n;
+      continue;
+    }
+    if (region_start == std::string::npos) continue;
+    if (line.find("FR_CRASH_POINT") != std::string::npos) has_point = true;
+    for (const auto& token : kMutationTokens) {
+      if (line.find(token) != std::string::npos &&
+          !line_allows(content.raw[n], "crash-point-required")) {
+        mutations.insert(token);
+      }
+    }
+  }
+  flush();
+}
+
 bool path_ends_with(const std::string& path, const std::string& suffix) {
   return path.size() >= suffix.size() &&
          path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
@@ -397,6 +463,8 @@ std::vector<Violation> lint_file(const std::string& path,
 
   // no-unbounded-retry works on loop regions, not single lines.
   check_unbounded_retry(path, content, out);
+  // crash-point-required works on function regions in PFS code.
+  check_crash_point_required(path, content, out);
   return out;
 }
 

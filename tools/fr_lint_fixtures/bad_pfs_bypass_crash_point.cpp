@@ -1,0 +1,14 @@
+// EXPECT: crash-point-required
+// A namespace op in PFS code that rewires LinkEA and DIRENT state
+// directly, with no FR_CRASH_POINT between the sub-updates: the
+// crash-state enumerator can never interrupt it, so the half-applied
+// states a server crash would leave behind are never tested.
+
+Fid LustreCluster::sneaky_link(const Fid& existing, const Fid& parent,
+                               const std::string& name) {
+  Inode& file = mdt_inode_or_throw(existing, "link");
+  Inode& dir = mdt_inode_or_throw(parent, "link parent");
+  file.link_ea.push_back({parent, name});
+  dir.dirents.push_back({name, existing, file.ino});
+  return existing;
+}

@@ -1,0 +1,22 @@
+// EXPECT: clean
+// The same multi-sub-update shape as the bad fixture, properly
+// instrumented: FR_CRASH_POINT fires before each sub-update, so the
+// enumerator can materialize every crash prefix. A single-mutation
+// function is atomic from the enumerator's point of view and needs no
+// instrumentation either.
+
+Fid LustreCluster::instrumented_link(const Fid& existing, const Fid& parent,
+                                     const std::string& name) {
+  Inode& file = mdt_inode_or_throw(existing, "link");
+  Inode& dir = mdt_inode_or_throw(parent, "link parent");
+  FR_CRASH_POINT("link", "linkea");
+  file.link_ea.push_back({parent, name});
+  FR_CRASH_POINT("link", "dirent");
+  dir.dirents.push_back({name, existing, file.ino});
+  return existing;
+}
+
+void LustreCluster::single_update(const Fid& parent, const std::string& name) {
+  Inode& dir = mdt_inode_or_throw(parent, "touch parent");
+  dir.dirents.push_back({name, Fid{}, 0});
+}
