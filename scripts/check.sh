@@ -39,18 +39,28 @@ run ctest --preset ubsan -j "${JOBS}"
 #    cross-file passes (direct + call-chain-induced lock-order cycles,
 #    sim-time discipline, determinism of parallel reductions and
 #    unordered-iteration taint, blocking-under-lock, FR_GUARDED_BY
-#    coverage) — self-test first so the fixture proofs gate before the
-#    tree run. The tree run diffs against the committed findings
-#    baseline: known findings are tolerated, any new one fails. Then
-#    the annotation coverage baseline. Explicit invocations for a
-#    readable tail even though the default suite already gates on all
-#    of it.
+#    coverage, serdes writer/reader symmetry, unchecked wire counts,
+#    wire-schema drift against the committed fingerprints) — self-test
+#    first so the fixture proofs gate before the tree run. The tree run
+#    diffs against the committed findings baseline: known findings are
+#    tolerated, any new one fails. Then the annotation coverage
+#    baseline, and a stats snapshot of the analyzer itself into
+#    build/BENCH_analysis.json. Explicit invocations for a readable
+#    tail even though the default suite already gates on all of it.
 run ./build/tools/fr_lint src bench
 run ./build/tools/fr_analyze --self-test tools/fr_analyze_fixtures
 run ./build/tools/fr_analyze \
-  --baseline tools/analysis/findings_baseline.json src bench tools
+  --baseline tools/analysis/findings_baseline.json \
+  --schemas tools/analysis/wire_schemas.json \
+  src bench tools
 run ./build/tools/fr_analyze --coverage \
   --baseline tools/analysis/coverage_baseline.txt src
+echo
+echo "==> fr_analyze --stats src bench tools (build/BENCH_analysis.json)"
+./build/tools/fr_analyze --stats \
+  --schemas tools/analysis/wire_schemas.json \
+  src bench tools > build/BENCH_analysis.json
+cat build/BENCH_analysis.json
 
 # 4b. Runtime lock-order detection: the instrumented-wrapper build runs
 #     the concurrency suite with per-thread held stacks + the global

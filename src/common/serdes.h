@@ -88,19 +88,14 @@ class ByteReader {
 
   [[nodiscard]] std::string get_string() {
     const auto len = get<std::uint32_t>();
-    if (len > size_ - pos_) throw SerdesError("truncated string");
-    std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
-    pos_ += len;
-    return s;
+    const std::uint8_t* at = checked_span(len, "string");
+    return {reinterpret_cast<const char*>(at), len};
   }
 
   [[nodiscard]] std::vector<std::uint8_t> get_bytes() {
     const auto len = get<std::uint64_t>();
-    if (len > size_ - pos_) throw SerdesError("truncated blob");
-    std::vector<std::uint8_t> blob(data_ + pos_,
-                                   data_ + pos_ + static_cast<std::size_t>(len));
-    pos_ += static_cast<std::size_t>(len);
-    return blob;
+    const std::uint8_t* at = checked_span(len, "blob");
+    return {at, at + static_cast<std::size_t>(len)};
   }
 
   [[nodiscard]] bool exhausted() const { return pos_ == size_; }
@@ -122,6 +117,23 @@ class ByteReader {
   }
 
  private:
+  /// Validates a length prefix against the remaining input and advances
+  /// past it — BEFORE any allocation, so a hostile prefix (e.g.
+  /// 0xFFFFFFFF on a 12-byte buffer) throws instead of driving a
+  /// multi-gigabyte std::string/std::vector reserve.
+  [[nodiscard]] const std::uint8_t* checked_span(std::uint64_t len,
+                                                 const char* what) {
+    if (len > size_ - pos_) {
+      throw SerdesError(std::string("truncated ") + what + ": length prefix " +
+                        std::to_string(len) + " exceeds the " +
+                        std::to_string(size_ - pos_) +
+                        " bytes remaining at offset " + std::to_string(pos_));
+    }
+    const std::uint8_t* at = data_ + pos_;
+    pos_ += static_cast<std::size_t>(len);
+    return at;
+  }
+
   const std::uint8_t* data_;
   std::size_t size_;
   std::size_t pos_ = 0;

@@ -50,6 +50,23 @@ EdgeListFile read_edge_list(const std::string& path) {
       std::fread(&edge_count, sizeof(edge_count), 1, f.get()) != 1) {
     fail("header read failed", path);
   }
+  // Bound the on-wire count against the actual file size before
+  // allocating: a corrupt or hostile header must not demand memory the
+  // payload cannot back (each edge is one 8-byte src/dst pair).
+  const long header_end = std::ftell(f.get());
+  if (header_end < 0 || std::fseek(f.get(), 0, SEEK_END) != 0) {
+    fail("size probe failed", path);
+  }
+  const long file_end = std::ftell(f.get());
+  if (file_end < 0 || std::fseek(f.get(), header_end, SEEK_SET) != 0) {
+    fail("size probe failed", path);
+  }
+  const std::uint64_t payload_bytes =
+      file_end > header_end ? static_cast<std::uint64_t>(file_end - header_end)
+                            : 0;
+  if (edge_count > payload_bytes / (2 * sizeof(std::uint32_t))) {
+    fail("edge count exceeds file size (corrupt header)", path);
+  }
   result.edges.resize(edge_count);
   for (auto& e : result.edges) {
     std::uint32_t pair[2];

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/serdes.h"
+
 namespace faultyrank {
 
 void ChangeLog::purge_below(std::uint64_t cursor) {
@@ -9,6 +11,129 @@ void ChangeLog::purge_below(std::uint64_t cursor) {
   std::erase_if(records_, [cursor](const ChangeRecord& record) {
     return record.index < cursor;
   });
+}
+
+// ---------------------------------------------------------------------
+// FRCL v1 — the changelog snapshot format (DESIGN.md §16):
+//
+//   u32 magic "FRCL" | u32 version | u64 next_index | u32 record count
+//   per record: u64 index | u8 op | target fid | parent fid | str name
+//               | u8 type | u32 stripe count | per stripe: fid, u32
+//               ost_index | u8 removes_object | src_parent fid |
+//               str src_name
+//
+// Changing any field here requires bumping kChangelogVersion — the
+// fr_analyze schema-drift gate holds this format to that rule.
+// ---------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4652434c;  // "FRCL"
+constexpr std::uint32_t kChangelogVersion = 1;
+// index 8 + op 1 + two fids 32 + name prefix 4 + type 1 + stripe count
+// 4 + removes 1 + src fid 16 + src_name prefix 4.
+constexpr std::size_t kMinRecordBytes = 71;
+
+void put_fid(ByteWriter& w, const Fid& fid) {
+  w.put(fid.seq);
+  w.put(fid.oid);
+  w.put(fid.ver);
+}
+
+Fid get_fid(ByteReader& r) {
+  Fid fid;
+  fid.seq = r.get<std::uint64_t>();
+  fid.oid = r.get<std::uint32_t>();
+  fid.ver = r.get<std::uint32_t>();
+  return fid;
+}
+
+void put_record(ByteWriter& w, const ChangeRecord& record) {
+  w.put(record.index);
+  w.put(static_cast<std::uint8_t>(record.op));
+  put_fid(w, record.target);
+  put_fid(w, record.parent);
+  w.put_string(record.name);
+  w.put(static_cast<std::uint8_t>(record.type));
+  w.put(static_cast<std::uint32_t>(record.stripes.size()));
+  for (const LovEaEntry& entry : record.stripes) {
+    put_fid(w, entry.stripe);
+    w.put(entry.ost_index);
+  }
+  w.put(static_cast<std::uint8_t>(record.removes_object ? 1 : 0));
+  put_fid(w, record.src_parent);
+  w.put_string(record.src_name);
+}
+
+ChangeRecord get_record(ByteReader& r) {
+  ChangeRecord record;
+  record.index = r.get<std::uint64_t>();
+  const auto op = r.get<std::uint8_t>();
+  if (op > static_cast<std::uint8_t>(ChangeOp::kRename)) {
+    throw SerdesError("changelog record has impossible op byte " +
+                      std::to_string(op));
+  }
+  record.op = static_cast<ChangeOp>(op);
+  record.target = get_fid(r);
+  record.parent = get_fid(r);
+  record.name = r.get_string();
+  const auto type = r.get<std::uint8_t>();
+  if (type > static_cast<std::uint8_t>(InodeType::kOstObject)) {
+    throw SerdesError("changelog record has impossible inode type byte " +
+                      std::to_string(type));
+  }
+  record.type = static_cast<InodeType>(type);
+  const std::uint64_t stripe_count =
+      r.bounded_count(r.get<std::uint32_t>(), sizeof(Fid) + sizeof(std::uint32_t));
+  record.stripes.resize(stripe_count);
+  for (LovEaEntry& entry : record.stripes) {
+    entry.stripe = get_fid(r);
+    entry.ost_index = r.get<std::uint32_t>();
+  }
+  record.removes_object = r.get<std::uint8_t>() != 0;
+  record.src_parent = get_fid(r);
+  record.src_name = r.get_string();
+  return record;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_changelog(const ChangeLog& log) {
+  MutexLock lock(log.mutex_);
+  ByteWriter w;
+  w.put(kMagic);
+  w.put(kChangelogVersion);
+  w.put(log.next_index_);
+  w.put(static_cast<std::uint32_t>(log.records_.size()));
+  for (const ChangeRecord& record : log.records_) put_record(w, record);
+  return w.take();
+}
+
+void deserialize_changelog(const std::vector<std::uint8_t>& bytes,
+                           ChangeLog& out) {
+  ByteReader r(bytes);
+  if (r.get<std::uint32_t>() != kMagic) {
+    throw SerdesError("changelog snapshot has bad magic");
+  }
+  const auto version = r.get<std::uint32_t>();
+  if (version != kChangelogVersion) {
+    throw SerdesError("unsupported changelog version " +
+                      std::to_string(version));
+  }
+  const auto next_index = r.get<std::uint64_t>();
+  const std::uint64_t count =
+      r.bounded_count(r.get<std::uint32_t>(), kMinRecordBytes);
+  std::vector<ChangeRecord> records;
+  records.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    records.push_back(get_record(r));
+  }
+  if (!r.exhausted()) {
+    throw SerdesError("trailing bytes after the last changelog record");
+  }
+  MutexLock lock(out.mutex_);
+  out.records_ = std::move(records);
+  out.next_index_ = next_index;
 }
 
 }  // namespace faultyrank

@@ -97,10 +97,28 @@ class ChangeLog {
   /// Drops records below `cursor` (a consumer acknowledged them).
   void purge_below(std::uint64_t cursor);
 
+  // FRCL wire snapshot (records + cursor state) — see changelog.cpp.
+  // Friends because ChangeLog itself is immovable (the mutex), so the
+  // serdes functions populate a caller-provided log in place.
+  friend std::vector<std::uint8_t> serialize_changelog(const ChangeLog& log);
+  friend void deserialize_changelog(const std::vector<std::uint8_t>& bytes,
+                                    ChangeLog& out);
+
  private:
   mutable Mutex mutex_{"ChangeLog::mutex_"};
   std::vector<ChangeRecord> records_ FR_GUARDED_BY(mutex_);
   std::uint64_t next_index_ FR_GUARDED_BY(mutex_) = 0;
 };
+
+/// Serializes the full log (every retained record plus the append
+/// cursor) as an FRCL blob, under the log mutex.
+[[nodiscard]] std::vector<std::uint8_t> serialize_changelog(
+    const ChangeLog& log);
+
+/// Replaces `out`'s contents with the decoded snapshot. Throws
+/// SerdesError on bad magic/version, impossible enum bytes, implausible
+/// counts, truncation, or trailing garbage — `out` is untouched then.
+void deserialize_changelog(const std::vector<std::uint8_t>& bytes,
+                           ChangeLog& out);
 
 }  // namespace faultyrank

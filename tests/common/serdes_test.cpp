@@ -80,6 +80,21 @@ TEST(SerdesTest, MaxLengthStringClaimNearBufferEndThrows) {
   EXPECT_THROW(r.get_string(), SerdesError);
 }
 
+TEST(SerdesTest, MaxLengthBlobClaimNearBufferEndThrows) {
+  // Same hostile shape through the get_bytes path: the length prefix
+  // must be bounded against the remaining span before any allocation
+  // happens — a 4 GiB vector reserve on a 5-byte buffer would be an
+  // allocation-as-DoS on corrupt input.
+  ByteWriter w;
+  w.put<std::uint64_t>(0xfffffffffffffff0ULL);  // blob claims ~16 EiB
+  w.put<std::uint8_t>(0xaa);                    // but only 1 byte follows
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.get_bytes(), SerdesError);
+  // The prefix itself was consumed; the bounds check fired before the
+  // payload span (and before any allocation).
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
 TEST(SerdesTest, ReadsExactlyToTheBoundary) {
   ByteWriter w;
   w.put<std::uint64_t>(7);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/serdes.h"
 #include "pfs/cluster.h"
 
 namespace faultyrank {
@@ -77,6 +78,146 @@ TEST(ChangeLogTest, DetachStopsRecording) {
   cluster.attach_changelog(nullptr);
   cluster.mkdir(cluster.root(), "b");
   EXPECT_EQ(log.size(), 1u);
+}
+
+// --- FRCL snapshot serdes ----------------------------------------------
+
+namespace frcl {
+// Header layout: u32 magic | u32 version | u64 next_index | u32 count.
+constexpr std::size_t kVersionOffset = 4;
+constexpr std::size_t kCountOffset = 16;
+constexpr std::size_t kFirstRecordOffset = 20;
+// Within a record: u64 index, then the op byte.
+constexpr std::size_t kOpOffset = kFirstRecordOffset + 8;
+}  // namespace frcl
+
+void populate_log(ChangeLog& log) {
+  log.append({0, ChangeOp::kMkdir, Fid{1, 1, 0}, Fid{1, 0, 0}, "dir",
+              InodeType::kDirectory, {}});
+  log.append({0, ChangeOp::kCreateFile, Fid{1, 2, 0}, Fid{1, 1, 0}, "file",
+              InodeType::kRegular,
+              {LovEaEntry{Fid{2, 10, 0}, 0}, LovEaEntry{Fid{2, 11, 0}, 1}}});
+  log.append({0, ChangeOp::kHardLink, Fid{1, 2, 0}, Fid{1, 1, 0}, "alias",
+              InodeType::kRegular, {}});
+  // Unlink of one hard-link name: the object survives.
+  ChangeRecord unlink{0, ChangeOp::kUnlink, Fid{1, 2, 0}, Fid{1, 1, 0},
+                      "alias", InodeType::kRegular, {}};
+  unlink.removes_object = false;
+  log.append(unlink);
+  ChangeRecord rename{0, ChangeOp::kRename, Fid{1, 2, 0}, Fid{1, 1, 0},
+                      "renamed", InodeType::kRegular, {}};
+  rename.src_parent = Fid{1, 0, 0};
+  rename.src_name = "file";
+  log.append(rename);
+}
+
+TEST(ChangeLogSerdesTest, RoundTripsEveryOpKind) {
+  ChangeLog log;
+  populate_log(log);
+  log.purge_below(1);
+
+  const auto bytes = serialize_changelog(log);
+  ChangeLog restored;
+  deserialize_changelog(bytes, restored);
+
+  EXPECT_EQ(restored.next_index(), log.next_index());
+  const auto want = log.read_from(0);
+  const auto got = restored.read_from(0);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].index, want[i].index);
+    EXPECT_EQ(got[i].op, want[i].op);
+    EXPECT_EQ(got[i].target, want[i].target);
+    EXPECT_EQ(got[i].parent, want[i].parent);
+    EXPECT_EQ(got[i].name, want[i].name);
+    EXPECT_EQ(got[i].type, want[i].type);
+    EXPECT_EQ(got[i].stripes, want[i].stripes);
+    EXPECT_EQ(got[i].removes_object, want[i].removes_object);
+    EXPECT_EQ(got[i].src_parent, want[i].src_parent);
+    EXPECT_EQ(got[i].src_name, want[i].src_name);
+  }
+}
+
+TEST(ChangeLogSerdesTest, EmptyLogRoundTrips) {
+  ChangeLog log;
+  ChangeLog restored;
+  deserialize_changelog(serialize_changelog(log), restored);
+  EXPECT_EQ(restored.size(), 0u);
+  EXPECT_EQ(restored.next_index(), 0u);
+}
+
+TEST(ChangeLogSerdesTest, BadMagicLeavesTargetUntouched) {
+  ChangeLog log;
+  populate_log(log);
+  auto bytes = serialize_changelog(log);
+  bytes[0] ^= 0xff;
+  ChangeLog out;
+  out.append({0, ChangeOp::kMkdir, Fid{9, 9, 0}, kNullFid, "keep",
+              InodeType::kDirectory, {}});
+  EXPECT_THROW(deserialize_changelog(bytes, out), SerdesError);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.read_from(0).front().name, "keep");
+}
+
+TEST(ChangeLogSerdesTest, UnsupportedVersionThrows) {
+  ChangeLog log;
+  populate_log(log);
+  auto bytes = serialize_changelog(log);
+  bytes[frcl::kVersionOffset] = 99;
+  ChangeLog out;
+  EXPECT_THROW(deserialize_changelog(bytes, out), SerdesError);
+}
+
+TEST(ChangeLogSerdesTest, ImpossibleOpByteThrows) {
+  ChangeLog log;
+  populate_log(log);
+  auto bytes = serialize_changelog(log);
+  bytes[frcl::kOpOffset] = 0xff;
+  ChangeLog out;
+  EXPECT_THROW(deserialize_changelog(bytes, out), SerdesError);
+}
+
+TEST(ChangeLogSerdesTest, ImpossibleInodeTypeByteThrows) {
+  // One record with an empty name puts the type byte at a computable
+  // offset: index 8 + op 1 + two fids 32 + empty-string prefix 4.
+  ChangeLog log;
+  log.append({0, ChangeOp::kMkdir, Fid{1, 1, 0}, kNullFid, "",
+              InodeType::kDirectory, {}});
+  auto bytes = serialize_changelog(log);
+  bytes[frcl::kFirstRecordOffset + 8 + 1 + 32 + 4] = 0xff;
+  ChangeLog out;
+  EXPECT_THROW(deserialize_changelog(bytes, out), SerdesError);
+}
+
+TEST(ChangeLogSerdesTest, ImplausibleRecordCountThrows) {
+  // A claimed count whose minimum encoding exceeds the buffer must be
+  // rejected up front (bounded_count), not discovered by allocating.
+  const ChangeLog empty;
+  auto bytes = serialize_changelog(empty);
+  bytes[frcl::kCountOffset] = 0xff;
+  bytes[frcl::kCountOffset + 1] = 0xff;
+  bytes[frcl::kCountOffset + 2] = 0xff;
+  bytes[frcl::kCountOffset + 3] = 0xff;
+  ChangeLog out;
+  EXPECT_THROW(deserialize_changelog(bytes, out), SerdesError);
+}
+
+TEST(ChangeLogSerdesTest, TrailingBytesThrow) {
+  ChangeLog log;
+  populate_log(log);
+  auto bytes = serialize_changelog(log);
+  bytes.push_back(0x00);
+  ChangeLog out;
+  EXPECT_THROW(deserialize_changelog(bytes, out), SerdesError);
+}
+
+TEST(ChangeLogSerdesTest, TruncatedRecordThrows) {
+  ChangeLog log;
+  populate_log(log);
+  auto bytes = serialize_changelog(log);
+  bytes.resize(bytes.size() - 5);
+  ChangeLog out;
+  EXPECT_THROW(deserialize_changelog(bytes, out), SerdesError);
 }
 
 TEST(ChangeLogTest, RawCorruptionBypassesTheLog) {

@@ -1,6 +1,7 @@
 #include "analysis/passes.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <iterator>
 #include <map>
 #include <set>
@@ -529,12 +530,140 @@ std::vector<Violation> run_guarded_by_pass(
   return out;
 }
 
+// ---------------------------------------------------------------------
+// serdes-asymmetry / unchecked-wire-count / schema-drift
+// ---------------------------------------------------------------------
+
+std::vector<Violation> run_serdes_asymmetry_pass(
+    const WireModel& wire, const std::vector<SourceFile>& files) {
+  std::vector<Violation> out;
+  for (const WirePair& pair : wire.pairs()) {
+    const WireMismatch m = wire.compare_pair(pair);
+    if (!m.mismatch || m.suppressed) continue;
+    const WireFn& w = wire.functions()[pair.writer];
+    const WireFn& r = wire.functions()[pair.reader];
+    const SourceFile* file = find_file(files, m.writer_file);
+    if (file != nullptr &&
+        line_allows(*file, m.writer_line, "serdes-asymmetry")) {
+      continue;
+    }
+    out.push_back({m.writer_file, m.writer_line, "serdes-asymmetry",
+                   "writer/reader schemas diverge: " + m.detail +
+                       "; every byte the writer emits must be consumed at "
+                       "the same offset and width by the reader",
+                   "serdes-asymmetry|" + w.id + "|" + r.id});
+  }
+  return out;
+}
+
+std::vector<Violation> run_unchecked_wire_count_pass(
+    const WireModel& wire, const std::vector<SourceFile>& files) {
+  std::vector<Violation> out;
+  for (const WireCountUse& use : wire.unchecked_counts()) {
+    const SourceFile* file = find_file(files, use.file);
+    if (file != nullptr &&
+        line_allows(*file, use.line, "unchecked-wire-count")) {
+      continue;
+    }
+    out.push_back(
+        {use.file, use.line, "unchecked-wire-count",
+         "count '" + use.var + "' read from the wire (" + use.source +
+             " at line " + std::to_string(use.def_line) + ") reaches " +
+             use.use +
+             " unchecked — a hostile file can demand an arbitrary "
+             "allocation; bound it with ByteReader::bounded_count or an "
+             "explicit comparison against the remaining input first",
+         "unchecked-wire-count|" + use.fn_id + "|" + use.var + "|" +
+             use.use});
+  }
+  return out;
+}
+
+std::vector<Violation> run_schema_drift_pass(const WireModel& wire,
+                                             const std::vector<SourceFile>& files,
+                                             const PassOptions& options) {
+  std::vector<Violation> out;
+  if (options.schemas_path.empty()) return out;
+  std::vector<SchemaEntry> committed;
+  if (!load_schemas(options.schemas_path, &committed)) {
+    out.push_back({options.schemas_path, 0, "schema-drift",
+                   "cannot read committed wire schemas at '" +
+                       options.schemas_path +
+                       "' — regenerate with fr_analyze --write-schemas",
+                   "schema-drift|" + options.schemas_path + "|unreadable"});
+    return out;
+  }
+  std::map<std::string, const SchemaEntry*> by_format;
+  for (const SchemaEntry& entry : committed) by_format[entry.format] = &entry;
+
+  const std::vector<SchemaEntry> computed = wire.entries();
+  std::set<std::string> seen;
+  for (const SchemaEntry& entry : computed) {
+    seen.insert(entry.format);
+    const SourceFile* file = find_file(files, entry.file);
+    const WireFn* writer = nullptr;
+    for (const WireFn& fn : wire.functions()) {
+      if (fn.id == entry.writer_id) writer = &fn;
+    }
+    const std::size_t line = writer != nullptr ? writer->line : 0;
+    if (file != nullptr && line_allows(*file, line, "schema-drift")) continue;
+    const auto it = by_format.find(entry.format);
+    if (it == by_format.end()) {
+      out.push_back({entry.file, line, "schema-drift",
+                     "new wire format '" + entry.format +
+                         "' has no committed fingerprint — review the "
+                         "schema and regenerate " + options.schemas_path +
+                         " (fr_analyze --write-schemas)",
+                     "schema-drift|" + entry.format + "|new"});
+      continue;
+    }
+    const SchemaEntry& old = *it->second;
+    const bool schema_changed = entry.writer_schema != old.writer_schema ||
+                                entry.reader_schema != old.reader_schema;
+    const bool version_changed = entry.version != old.version;
+    if (schema_changed && !version_changed) {
+      const std::string where =
+          entry.version.empty()
+              ? "declare and bump a format-version constant in " + entry.file
+              : "bump the version constant in " + entry.file +
+                    " (currently " + entry.version + ")";
+      out.push_back(
+          {entry.file, line, "schema-drift",
+           "wire schema of '" + entry.format +
+               "' changed without a version bump (committed \"" +
+               old.writer_schema + "\" -> computed \"" + entry.writer_schema +
+               "\") — old files would be misparsed silently; " + where +
+               ", then regenerate " + options.schemas_path,
+           "schema-drift|" + entry.format + "|unbumped"});
+      continue;
+    }
+    if (schema_changed || version_changed) {
+      out.push_back({entry.file, line, "schema-drift",
+                     "wire schema fingerprint of '" + entry.format +
+                         "' is stale (version bumped) — regenerate " +
+                         options.schemas_path +
+                         " with fr_analyze --write-schemas",
+                     "schema-drift|" + entry.format + "|regenerate"});
+    }
+  }
+  for (const SchemaEntry& entry : committed) {
+    if (seen.count(entry.format) == 0) {
+      std::fprintf(stderr,
+                   "fr_analyze: warning: committed schema '%s' no longer "
+                   "matches any writer/reader pair (stale entry in %s)\n",
+                   entry.format.c_str(), options.schemas_path.c_str());
+    }
+  }
+  return out;
+}
+
 std::vector<Violation> run_all_passes(const std::vector<SourceFile>& files,
                                       const SymbolTable& /*symbols*/,
                                       const IncludeGraph& includes,
                                       const LockGraph& lock_graph,
                                       const CallGraph& call_graph,
                                       const Summaries& summaries,
+                                      const WireModel& wire,
                                       const PassOptions& options) {
   std::vector<Violation> out = run_lock_order_pass(lock_graph, files);
   const auto append = [&out](std::vector<Violation> more) {
@@ -547,6 +676,9 @@ std::vector<Violation> run_all_passes(const std::vector<SourceFile>& files,
   append(run_blocking_under_lock_pass(summaries, files));
   append(run_determinism_taint_pass(files, call_graph, summaries, includes));
   append(run_guarded_by_pass(summaries, files));
+  append(run_serdes_asymmetry_pass(wire, files));
+  append(run_unchecked_wire_count_pass(wire, files));
+  append(run_schema_drift_pass(wire, files, options));
   std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
     if (a.file != b.file) return a.file < b.file;
     if (a.line != b.line) return a.line < b.line;

@@ -49,6 +49,22 @@
 //                           the guard (FR_REQUIRES on a definition head
 //                           counts as held).
 //
+// Wire-schema (reconstructed serdes model, analysis/wire_schema.h):
+//
+//   serdes-asymmetry        A paired writer/reader disagree on field
+//                           kind, scalar width, or sequence length —
+//                           reported with file:line witnesses on both
+//                           sides of the first divergence.
+//   unchecked-wire-count    A count read from the wire (ByteReader::get
+//                           or raw fread) reaches resize()/reserve()/a
+//                           loop bound without bounded_count or an
+//                           explicit comparison first.
+//   schema-drift            Computed schema fingerprints diverge from
+//                           the committed tools/analysis/
+//                           wire_schemas.json: a schema change without
+//                           a format-version-constant bump in the
+//                           writer's TU fails the gate.
+//
 // A line can opt out with a trailing `// fr_analyze: allow(rule-id)`.
 // Every violation carries a line-insensitive fingerprint for the
 // baseline gate (analysis/baseline.h).
@@ -65,21 +81,26 @@
 #include "analysis/symbols.h"
 #include "analysis/token.h"
 #include "analysis/violation.h"
+#include "analysis/wire_schema.h"
 
 namespace fr_analysis {
 
 /// Every rule id fr_analyze can emit (the fixture self-test demands
 /// each appears in exactly one EXPECT header).
-inline constexpr std::array<const char*, 7> kAnalyzeRuleIds = {
+inline constexpr std::array<const char*, 10> kAnalyzeRuleIds = {
     "lock-order-cycle",    "sim-time",
     "determinism-reduction", "lock-order-cycle-transitive",
     "blocking-under-lock", "determinism-taint",
-    "guarded-by-coverage"};
+    "guarded-by-coverage", "serdes-asymmetry",
+    "unchecked-wire-count", "schema-drift"};
 
 struct PassOptions {
   /// Self-test mode: treat every file as pipeline code (src/), so the
   /// sim-time pass is live on fixtures regardless of their path.
   bool treat_all_as_src = false;
+  /// Committed schema fingerprints to diff against. Empty disables the
+  /// schema-drift pass (the other wire passes are always live).
+  std::string schemas_path;
 };
 
 [[nodiscard]] std::vector<Violation> run_lock_order_pass(
@@ -107,12 +128,29 @@ struct PassOptions {
 [[nodiscard]] std::vector<Violation> run_guarded_by_pass(
     const Summaries& summaries, const std::vector<SourceFile>& files);
 
-/// All seven passes over an analyzed corpus, sorted by
+/// First divergence of every paired writer/reader schema; divergences
+/// owned by a nested helper pair are reported on the helper only.
+[[nodiscard]] std::vector<Violation> run_serdes_asymmetry_pass(
+    const WireModel& wire, const std::vector<SourceFile>& files);
+
+/// Wire-sourced counts reaching allocation-sized uses unchecked.
+[[nodiscard]] std::vector<Violation> run_unchecked_wire_count_pass(
+    const WireModel& wire, const std::vector<SourceFile>& files);
+
+/// Computed schemas vs the committed fingerprints at
+/// options.schemas_path (no-op when the path is empty). Stale committed
+/// entries whose pair no longer exists only warn on stderr, mirroring
+/// the findings-baseline gate.
+[[nodiscard]] std::vector<Violation> run_schema_drift_pass(
+    const WireModel& wire, const std::vector<SourceFile>& files,
+    const PassOptions& options);
+
+/// All ten passes over an analyzed corpus, sorted by
 /// (file, line, rule, message) — byte-stable across runs.
 [[nodiscard]] std::vector<Violation> run_all_passes(
     const std::vector<SourceFile>& files, const SymbolTable& symbols,
     const IncludeGraph& includes, const LockGraph& lock_graph,
     const CallGraph& call_graph, const Summaries& summaries,
-    const PassOptions& options);
+    const WireModel& wire, const PassOptions& options);
 
 }  // namespace fr_analysis

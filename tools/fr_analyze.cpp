@@ -25,15 +25,30 @@
 // with both stacks on an inversion. Statically this tool covers all
 // code paths; dynamically the tests cover the paths they execute.
 //
+// PR 10 adds the wire-schema model (analysis/wire_schema.h): serdes
+// writer/reader pairs are reconstructed into field sequences, compared
+// for symmetry (serdes-asymmetry), scanned for unvalidated wire counts
+// (unchecked-wire-count), and fingerprinted against the committed
+// tools/analysis/wire_schemas.json (schema-drift — a schema change
+// without a format-version bump fails the gate).
+//
 // Usage:
 //   fr_analyze [--json|--sarif] [--baseline <f> | --write-baseline <f>]
-//              <dir-or-file>...              analyze; with --baseline,
+//              [--schemas <f>] <dir-or-file>...
+//                                            analyze; with --baseline,
 //                                            exit 1 only on findings
-//                                            missing from the baseline
+//                                            missing from the baseline;
+//                                            with --schemas, diff wire
+//                                            schemas against <f> too
+//   fr_analyze --write-schemas <f> <roots>   regenerate the committed
+//                                            wire-schema fingerprints
+//   fr_analyze --stats <roots>               corpus/findings/wall-time
+//                                            stats as JSON on stdout
 //   fr_analyze --self-test <fixtures-dir>    EXPECT-driven fixture check
 //   fr_analyze --coverage [--baseline <f> | --write-baseline <f>] <roots>
 //                                            annotation-coverage gate
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -52,6 +67,7 @@
 #include "analysis/symbols.h"
 #include "analysis/tokenizer.h"
 #include "analysis/violation.h"
+#include "analysis/wire_schema.h"
 
 namespace fs = std::filesystem;
 using namespace fr_analysis;
@@ -94,6 +110,7 @@ struct Corpus {
   LockGraph locks;
   CallGraph graph;
   Summaries summaries;
+  WireModel wire;
 };
 
 Corpus load_corpus(const std::vector<fs::path>& paths) {
@@ -109,17 +126,22 @@ Corpus load_corpus(const std::vector<fs::path>& paths) {
   corpus.graph = CallGraph::build(corpus.files, corpus.includes);
   corpus.summaries = Summaries::build(corpus.files, corpus.graph,
                                       corpus.symbols, corpus.includes);
+  corpus.wire = WireModel::build(corpus.files, corpus.graph, corpus.includes);
   return corpus;
 }
 
 enum class Format { kText, kJson, kSarif };
 
 int run_analyze(const std::vector<std::string>& roots, Format format,
-                const std::string& baseline_path, bool update_baseline) {
+                const std::string& baseline_path, bool update_baseline,
+                const std::string& schemas_path) {
   const Corpus corpus = load_corpus(collect(roots, /*include_fixtures=*/false));
+  PassOptions options;
+  options.schemas_path = schemas_path;
   const std::vector<Violation> violations =
       run_all_passes(corpus.files, corpus.symbols, corpus.includes,
-                     corpus.locks, corpus.graph, corpus.summaries, {});
+                     corpus.locks, corpus.graph, corpus.summaries, corpus.wire,
+                     options);
 
   if (update_baseline) {
     std::FILE* out = std::fopen(baseline_path.c_str(), "w");
@@ -167,13 +189,85 @@ int run_analyze(const std::vector<std::string>& roots, Format format,
   }
   std::fprintf(stderr,
                "fr_analyze: %zu file(s), %zu include edge(s), %zu mutex(es), "
-               "%zu lock edge(s), %zu function(s), %zu violation(s)"
-               " (%zu baselined, %zu stale)\n",
+               "%zu lock edge(s), %zu function(s), %zu wire pair(s), "
+               "%zu violation(s) (%zu baselined, %zu stale)\n",
                corpus.files.size(), corpus.includes.edge_count(),
                corpus.symbols.mutexes().size(), corpus.locks.edges().size(),
-               corpus.graph.functions().size(), reported.size(), tolerated,
-               stale);
+               corpus.graph.functions().size(), corpus.wire.pairs().size(),
+               reported.size(), tolerated, stale);
   return reported.empty() ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------
+// --write-schemas: regenerate the committed wire-schema fingerprints.
+// Run after a deliberate format change (with its version bump) so the
+// schema-drift gate re-anchors; the diff is reviewable line-per-format.
+// ---------------------------------------------------------------------
+
+int run_write_schemas(const std::vector<std::string>& roots,
+                      const std::string& out_path) {
+  // A fixtures directory named explicitly is a corpus in its own right
+  // (the self-test diffs fixture schemas too).
+  bool include_fixtures = false;
+  for (const std::string& root : roots) {
+    if (root.find("_fixtures") != std::string::npos) include_fixtures = true;
+  }
+  const Corpus corpus = load_corpus(collect(roots, include_fixtures));
+  const std::vector<SchemaEntry> entries = corpus.wire.entries();
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "fr_analyze: cannot write schemas %s\n",
+                 out_path.c_str());
+    return 2;
+  }
+  write_schemas(out, entries);
+  std::fclose(out);
+  std::fprintf(stderr, "fr_analyze: wrote %zu schema(s) to %s\n",
+               entries.size(), out_path.c_str());
+  return 0;
+}
+
+// ---------------------------------------------------------------------
+// --stats: corpus size, per-rule findings, and end-to-end wall time as
+// one JSON object — committed as BENCH_analysis.json so analyzer cost
+// gets a trajectory like the kernel benches.
+// ---------------------------------------------------------------------
+
+int run_stats(const std::vector<std::string>& roots,
+              const std::string& schemas_path) {
+  const auto start = std::chrono::steady_clock::now();
+  const Corpus corpus = load_corpus(collect(roots, /*include_fixtures=*/false));
+  PassOptions options;
+  options.schemas_path = schemas_path;
+  const std::vector<Violation> violations =
+      run_all_passes(corpus.files, corpus.symbols, corpus.includes,
+                     corpus.locks, corpus.graph, corpus.summaries, corpus.wire,
+                     options);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::size_t tokens = 0;
+  for (const SourceFile& file : corpus.files) tokens += file.tokens.size();
+  std::map<std::string, std::size_t> by_rule;
+  for (const char* rule : kAnalyzeRuleIds) by_rule[rule] = 0;
+  for (const Violation& v : violations) ++by_rule[v.rule];
+
+  std::printf("{\n");
+  std::printf("  \"files\": %zu,\n", corpus.files.size());
+  std::printf("  \"tokens\": %zu,\n", tokens);
+  std::printf("  \"functions\": %zu,\n", corpus.graph.functions().size());
+  std::printf("  \"wire_functions\": %zu,\n", corpus.wire.functions().size());
+  std::printf("  \"wire_pairs\": %zu,\n", corpus.wire.pairs().size());
+  std::printf("  \"wall_seconds\": %.3f,\n", wall);
+  std::printf("  \"findings\": {");
+  bool first = true;
+  for (const auto& [rule, count] : by_rule) {
+    std::printf("%s\n    \"%s\": %zu", first ? "" : ",", rule.c_str(), count);
+    first = false;
+  }
+  std::printf("\n  }\n}\n");
+  return 0;
 }
 
 // ---------------------------------------------------------------------
@@ -280,9 +374,16 @@ int run_self_test(const std::string& fixtures_dir) {
   const Corpus corpus = load_corpus(paths);
   PassOptions options;
   options.treat_all_as_src = true;
+  // Fixture schemas, when committed, make the drift gate self-testable:
+  // the schema-drift fixture's entry is deliberately mutated in there.
+  const std::string fixture_schemas = fixtures_dir + "/wire_schemas.json";
+  if (fs::is_regular_file(fixture_schemas)) {
+    options.schemas_path = fixture_schemas;
+  }
   const std::vector<Violation> violations =
       run_all_passes(corpus.files, corpus.symbols, corpus.includes,
-                     corpus.locks, corpus.graph, corpus.summaries, options);
+                     corpus.locks, corpus.graph, corpus.summaries, corpus.wire,
+                     options);
 
   const std::set<std::string> known(kAnalyzeRuleIds.begin(),
                                     kAnalyzeRuleIds.end());
@@ -346,8 +447,11 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   Format format = Format::kText;
   bool coverage = false;
+  bool stats = false;
   bool write_baseline = false;
   std::string baseline;
+  std::string schemas;
+  std::string write_schemas_path;
   std::string self_test_dir;
   std::vector<std::string> roots;
 
@@ -359,6 +463,19 @@ int main(int argc, char** argv) {
       format = Format::kSarif;
     } else if (arg == "--coverage") {
       coverage = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--schemas" || arg == "--write-schemas") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "fr_analyze: %s takes a file argument\n",
+                     arg.c_str());
+        return 2;
+      }
+      if (arg == "--schemas") {
+        schemas = args[++i];
+      } else {
+        write_schemas_path = args[++i];
+      }
     } else if (arg == "--baseline" || arg == "--write-baseline") {
       if (i + 1 >= args.size()) {
         std::fprintf(stderr, "fr_analyze: %s takes a file argument\n",
@@ -386,12 +503,18 @@ int main(int argc, char** argv) {
     std::fprintf(
         stderr,
         "usage: fr_analyze [--json|--sarif] [--baseline <file> | "
-        "--write-baseline <file>] <dir-or-file>...\n"
+        "--write-baseline <file>] [--schemas <file>] <dir-or-file>...\n"
+        "       fr_analyze --write-schemas <file> <roots>\n"
+        "       fr_analyze --stats <roots>\n"
         "       fr_analyze --self-test <fixtures-dir>\n"
         "       fr_analyze --coverage [--baseline <file> | --write-baseline "
         "<file>] <roots>\n");
     return 2;
   }
+  if (!write_schemas_path.empty()) {
+    return run_write_schemas(roots, write_schemas_path);
+  }
+  if (stats) return run_stats(roots, schemas);
   if (coverage) return run_coverage(roots, baseline, write_baseline);
-  return run_analyze(roots, format, baseline, write_baseline);
+  return run_analyze(roots, format, baseline, write_baseline, schemas);
 }

@@ -1,0 +1,27 @@
+// EXPECT: schema-drift
+//
+// This pair is symmetric and correctly versioned IN SOURCE — the drift
+// comes from the committed fixture wire_schemas.json, whose entry for
+// save_fxe_blob carries a deliberately mutated writer_schema with the
+// same version string. That is exactly the state the gate exists for:
+// the wire bytes changed but kFxeBlobVersion did not.
+#include "serdes_like.h"
+
+namespace fx {
+
+constexpr std::uint32_t kFxeBlobVersion = 1;
+
+void save_fxe_blob(ByteWriter& w, std::uint64_t fxe_payload) {
+  w.put(kFxeBlobVersion);
+  w.put(fxe_payload);
+}
+
+void load_fxe_blob(ByteReader& r) {
+  if (r.get<std::uint32_t>() != kFxeBlobVersion) {
+    return;
+  }
+  const auto fxe_payload = r.get<std::uint64_t>();
+  (void)fxe_payload;
+}
+
+}  // namespace fx

@@ -1,0 +1,28 @@
+// EXPECT: clean
+//
+// Control for schema_drift.cpp: the committed fixture schema entry for
+// this pair matches what the extractor computes, so the drift gate
+// stays quiet.
+#include "serdes_like.h"
+
+namespace fx {
+
+constexpr std::uint32_t kFxfBlobVersion = 3;
+
+void save_fxf_blob(ByteWriter& w, std::uint32_t fxf_checksum) {
+  w.put(kFxfBlobVersion);
+  w.put(fxf_checksum);
+  w.put_bytes({});
+}
+
+void load_fxf_blob(ByteReader& r) {
+  if (r.get<std::uint32_t>() != kFxfBlobVersion) {
+    return;
+  }
+  const auto fxf_checksum = r.get<std::uint32_t>();
+  (void)fxf_checksum;
+  const auto fxf_body = r.get_bytes();
+  (void)fxf_body;
+}
+
+}  // namespace fx

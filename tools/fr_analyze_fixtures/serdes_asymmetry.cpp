@@ -1,0 +1,49 @@
+// EXPECT: serdes-asymmetry
+//
+// Two divergent writer/reader pairs. The header pair disagrees
+// directly on a scalar width. The item helpers disagree too, and the
+// save/load roots that splice them inherit that divergence — which the
+// pass reports on the helper pair only (the roots' mismatch is
+// suppressed as belonging to the nested pair).
+#include "serdes_like.h"
+
+namespace fx {
+
+void put_fxa_header(ByteWriter& w, std::uint32_t fxa_flags) {
+  w.put(fxa_flags);
+  w.put(static_cast<std::uint8_t>(1));
+}
+
+void get_fxa_header(ByteReader& r) {
+  const auto fxa_flags = r.get<std::uint64_t>();
+  const auto fxa_marker = r.get<std::uint8_t>();
+  (void)fxa_flags;
+  (void)fxa_marker;
+}
+
+void put_fxa_item(ByteWriter& w, std::uint64_t fxa_item_id) {
+  w.put(fxa_item_id);
+  w.put(static_cast<std::uint16_t>(7));
+}
+
+void get_fxa_item(ByteReader& r) {
+  const auto fxa_item_id = r.get<std::uint64_t>();
+  const auto fxa_tag = r.get<std::uint32_t>();
+  (void)fxa_item_id;
+  (void)fxa_tag;
+}
+
+void save_fxa_items(ByteWriter& w) {
+  w.put(static_cast<std::uint8_t>(2));
+  put_fxa_item(w, 1);
+  put_fxa_item(w, 2);
+}
+
+void load_fxa_items(ByteReader& r) {
+  const auto fxa_count = r.get<std::uint8_t>();
+  (void)fxa_count;
+  get_fxa_item(r);
+  get_fxa_item(r);
+}
+
+}  // namespace fx

@@ -1,0 +1,53 @@
+// EXPECT: clean
+//
+// A symmetric pair exercising every schema construct: a nested helper
+// pair, a counted repeated group, a version check read in an if
+// condition, and a presence-byte-gated optional segment.
+#include <vector>
+
+#include "serdes_like.h"
+
+namespace fx {
+
+constexpr std::uint32_t kFxbVersion = 2;
+
+void put_fxb_point(ByteWriter& w, std::uint64_t fxb_a, std::uint32_t fxb_b) {
+  w.put(fxb_a);
+  w.put(fxb_b);
+}
+
+void get_fxb_point(ByteReader& r) {
+  const auto fxb_a = r.get<std::uint64_t>();
+  const auto fxb_b = r.get<std::uint32_t>();
+  (void)fxb_a;
+  (void)fxb_b;
+}
+
+void save_fxb_scene(ByteWriter& w, const std::vector<std::uint64_t>& fxb_ids,
+                    bool fxb_annotated) {
+  w.put(kFxbVersion);
+  w.put(static_cast<std::uint32_t>(fxb_ids.size()));
+  for (const std::uint64_t fxb_id : fxb_ids) {
+    put_fxb_point(w, fxb_id, 0);
+  }
+  w.put(static_cast<std::uint8_t>(fxb_annotated ? 1 : 0));
+  if (fxb_annotated) {
+    w.put_string("legend");
+  }
+}
+
+void load_fxb_scene(ByteReader& r) {
+  if (r.get<std::uint32_t>() != kFxbVersion) {
+    return;
+  }
+  const std::uint64_t fxb_count = r.bounded_count(r.get<std::uint32_t>(), 12);
+  for (std::uint64_t i = 0; i < fxb_count; ++i) {
+    get_fxb_point(r);
+  }
+  if (r.get<std::uint8_t>() != 0) {
+    const auto fxb_legend = r.get_string();
+    (void)fxb_legend;
+  }
+}
+
+}  // namespace fx

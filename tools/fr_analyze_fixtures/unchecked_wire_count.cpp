@@ -1,0 +1,32 @@
+// EXPECT: unchecked-wire-count
+//
+// Wire-sourced counts reaching allocation-sized uses without a bound:
+// a ByteReader count driving resize(), and a raw-FILE fread count
+// driving a loop that reads per iteration.
+#include <cstdio>
+#include <vector>
+
+#include "serdes_like.h"
+
+namespace fx {
+
+void load_fxc_table(ByteReader& r, std::vector<std::uint64_t>& fxc_out) {
+  const auto fxc_n = r.get<std::uint32_t>();
+  fxc_out.resize(fxc_n);
+  for (std::uint64_t& fxc_slot : fxc_out) {
+    fxc_slot = r.get<std::uint64_t>();
+  }
+}
+
+void load_fxc_stream(std::FILE* fxc_f, ByteReader& r) {
+  std::uint32_t fxc_m = 0;
+  if (std::fread(&fxc_m, sizeof(fxc_m), 1, fxc_f) != 1) {
+    return;
+  }
+  for (std::uint32_t i = 0; i < fxc_m; ++i) {
+    const auto fxc_v = r.get<std::uint64_t>();
+    (void)fxc_v;
+  }
+}
+
+}  // namespace fx

@@ -1,0 +1,31 @@
+// EXPECT: clean
+//
+// The same allocation shapes as unchecked_wire_count.cpp, but bounded:
+// once through ByteReader::bounded_count, once through an explicit
+// comparison against the remaining input.
+#include <vector>
+
+#include "serdes_like.h"
+
+namespace fx {
+
+void load_fxd_table(ByteReader& r, std::vector<std::uint64_t>& fxd_out) {
+  const std::uint64_t fxd_n = r.bounded_count(r.get<std::uint32_t>(), 8);
+  fxd_out.resize(fxd_n);
+  for (std::uint64_t& fxd_slot : fxd_out) {
+    fxd_slot = r.get<std::uint64_t>();
+  }
+}
+
+void load_fxd_checked(ByteReader& r, std::vector<std::uint64_t>& fxd_out) {
+  const auto fxd_m = r.get<std::uint32_t>();
+  if (fxd_m > r.remaining() / 8) {
+    return;
+  }
+  fxd_out.reserve(fxd_m);
+  for (std::uint32_t i = 0; i < fxd_m; ++i) {
+    fxd_out.push_back(r.get<std::uint64_t>());
+  }
+}
+
+}  // namespace fx
